@@ -1,0 +1,189 @@
+// Command mobiledl is the umbrella CLI over the library: it demonstrates the
+// main workflows end to end on synthetic data.
+//
+//	mobiledl mood       # train DeepMood, report held-out mood accuracy
+//	mobiledl identify   # train DEEPSERVICE, report identification accuracy
+//	mobiledl federate   # run FedAvg over simulated clients
+//	mobiledl compress   # run the Deep Compression pipeline on an MLP
+//	mobiledl plan       # compare local/cloud/split inference placement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mobiledl/internal/core"
+	"mobiledl/internal/data"
+	"mobiledl/internal/deepmood"
+	"mobiledl/internal/federated"
+	"mobiledl/internal/mobile"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mobiledl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mobiledl", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	users := fs.Int("users", 5, "synthetic users")
+	sessions := fs.Int("sessions", 30, "sessions per user")
+	epochs := fs.Int("epochs", 6, "training epochs")
+	if len(args) == 0 {
+		fs.Usage()
+		return fmt.Errorf("usage: mobiledl <mood|identify|federate|compress|plan> [flags]")
+	}
+	cmd := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "mood":
+		return runMood(*users, *sessions, *epochs, *seed)
+	case "identify":
+		return runIdentify(*users, *sessions, *epochs, *seed)
+	case "federate":
+		return runFederate(*seed)
+	case "compress":
+		return runCompress(*seed)
+	case "plan":
+		return runPlan()
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func corpusSplit(users, sessions int, moodEffect float64, seed int64) (train, test []*data.Session, err error) {
+	corpus, err := data.GenerateKeystrokeCorpus(data.KeystrokeConfig{
+		NumUsers:        users,
+		SessionsPerUser: sessions,
+		MoodEffect:      moodEffect,
+		Seed:            seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return data.SplitSessions(rand.New(rand.NewSource(seed)), corpus.Sessions, 0.8)
+}
+
+func runMood(users, sessions, epochs int, seed int64) error {
+	train, test, err := corpusSplit(users, sessions, 1.0, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training DeepMood on %d sessions...\n", len(train))
+	model, err := core.TrainMoodModel(train, deepmood.FusionFC, epochs, seed)
+	if err != nil {
+		return err
+	}
+	rep, err := model.Evaluate(test)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("held-out mood accuracy: %.2f%%  weighted F1: %.2f%%\n", rep.Accuracy*100, rep.F1*100)
+	return nil
+}
+
+func runIdentify(users, sessions, epochs int, seed int64) error {
+	train, test, err := corpusSplit(users, sessions, 0.3, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training DEEPSERVICE (%d users) on %d sessions...\n", users, len(train))
+	id, err := core.TrainIdentifier(train, users, epochs, seed)
+	if err != nil {
+		return err
+	}
+	rep, err := id.Evaluate(deepmood.NormalizeAll(test))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("held-out identification accuracy: %.2f%%  weighted F1: %.2f%%\n",
+		rep.Accuracy*100, rep.F1*100)
+	return nil
+}
+
+func runFederate(seed int64) error {
+	fb, err := data.GenerateFedBench(data.FedBenchConfig{Samples: 1000, Classes: 5, Dim: 10, Seed: seed})
+	if err != nil {
+		return err
+	}
+	trX, trY, teX, teY, err := fb.Split(0.8)
+	if err != nil {
+		return err
+	}
+	shards, err := data.ShardNonIID(rand.New(rand.NewSource(seed)), trX, trY, 10)
+	if err != nil {
+		return err
+	}
+	_, factory, err := core.NewMLP(core.MLPSpec{In: 10, Hidden: []int{24}, Classes: 5, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("running FedAvg over 10 non-IID clients...")
+	_, stats, err := core.Federate(factory, shards, 5, federated.FedAvgConfig{
+		Rounds: 30, ClientFraction: 0.5, LocalEpochs: 5, LocalBatch: 16,
+		LocalLR: 0.08, Seed: seed, Workers: 4,
+		Eval: federated.AccuracyEval(teX, teY), EvalEvery: 5,
+	})
+	if err != nil {
+		return err
+	}
+	for _, s := range stats {
+		if s.Accuracy < 0 {
+			continue
+		}
+		fmt.Printf("round %3d  loss %.4f  accuracy %.2f%%  traffic %.2f MB\n",
+			s.Round, s.TrainLoss, s.Accuracy*100,
+			float64(s.CumulativeUpBytes+s.CumulativeDownBytes)/1e6)
+	}
+	return nil
+}
+
+func runCompress(seed int64) error {
+	fb, err := data.GenerateFedBench(data.FedBenchConfig{Samples: 800, Classes: 5, Dim: 16, Seed: seed})
+	if err != nil {
+		return err
+	}
+	model, _, err := core.NewMLP(core.MLPSpec{In: 16, Hidden: []int{64, 32}, Classes: 5, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Println("training the reference MLP...")
+	if err := core.TrainCentralized(model, fb.X, fb.Labels, 5, 25, seed); err != nil {
+		return err
+	}
+	res, err := core.CompressForMobile(model, 0.9, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dense:     %8d B\npruned:    %8d B\nquantized: %8d B\nhuffman:   %8d B\nratio:     %.1fx\n",
+		res.Sizes.DenseBytes, res.Sizes.PrunedBytes, res.Sizes.QuantizedBytes,
+		res.Sizes.HuffmanBytes, res.Sizes.Ratio())
+	return nil
+}
+
+func runPlan() error {
+	model, _, err := core.NewMLP(core.MLPSpec{In: 256, Hidden: []int{512, 512, 256}, Classes: 10, Seed: 1})
+	if err != nil {
+		return err
+	}
+	for _, net := range []mobile.Network{mobile.WiFiNetwork(), mobile.LTENetwork(), mobile.OfflineNetwork()} {
+		fmt.Printf("\nnetwork: %s\n", net.Kind)
+		for _, p := range core.PlanInference(mobile.MidrangePhone(), net, model, 64<<10, 4<<10) {
+			if !p.Feasible {
+				fmt.Printf("  %-6s infeasible (%s)\n", p.Placement, p.Reason)
+				continue
+			}
+			fmt.Printf("  %-6s latency %8.2f ms  battery %8.4f mJ\n",
+				p.Placement, p.LatencyMs, p.EnergyJ*1000)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation (DESIGN.md experiments E1-E13). Run with no flags to execute
+// the full suite, or select one experiment with -exp.
+//
+//	paperbench                 # everything, full scale
+//	paperbench -exp table1     # just Table I
+//	paperbench -scale quick    # reduced workloads (seconds, CI-friendly)
+//	paperbench -list           # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobiledl/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (default: all)")
+		scale = flag.String("scale", "full", `workload scale: "quick" or "full"`)
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Printf("%-12s %s\n", name, experiments.Describe(name))
+		}
+		return nil
+	}
+
+	var s experiments.Scale
+	switch *scale {
+	case "quick":
+		s = experiments.Quick
+	case "full":
+		s = experiments.Full
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", *scale)
+	}
+
+	if *exp == "" {
+		return experiments.RunAll(os.Stdout, s)
+	}
+	fmt.Printf("===== %s — %s =====\n", *exp, experiments.Describe(*exp))
+	return experiments.Run(os.Stdout, *exp, s)
+}

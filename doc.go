@@ -1,0 +1,11 @@
+// Package mobiledl is a from-scratch Go reproduction of "Deep Learning
+// Towards Mobile Applications" (Wang, Cao, Yu, Sun, Bao, Zhu — ICDCS 2018):
+// federated and privacy-preserving training on mobile data, efficient
+// on-device inference (split execution and model compression), and the two
+// reference applications DeepMood and DEEPSERVICE.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for paper-vs-
+// measured results. The root-level bench_test.go regenerates every table
+// and figure as a testing.B benchmark; cmd/paperbench prints them.
+package mobiledl

@@ -1,0 +1,84 @@
+// Federated training: the Section II workflow — federated averaging over
+// simulated mobile clients with the idle/charging/WiFi eligibility
+// scheduler, followed by a user-level differentially private run with the
+// moments accountant reporting the privacy spend.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mobiledl/internal/core"
+	"mobiledl/internal/data"
+	"mobiledl/internal/federated"
+	"mobiledl/internal/privacy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fb, err := data.GenerateFedBench(data.FedBenchConfig{Samples: 1000, Classes: 5, Dim: 10, Seed: 33})
+	if err != nil {
+		return err
+	}
+	trX, trY, teX, teY, err := fb.Split(0.8)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(33))
+	shards, err := data.ShardNonIID(rng, trX, trY, 12)
+	if err != nil {
+		return err
+	}
+	_, factory, err := core.NewMLP(core.MLPSpec{In: 10, Hidden: []int{24}, Classes: 5, Seed: 33})
+	if err != nil {
+		return err
+	}
+	eval := federated.AccuracyEval(teX, teY)
+
+	// Non-private FedAvg with the device-eligibility scheduler.
+	sched, err := federated.NewScheduler(rng, len(shards), 0.9, 0.8, 0.9)
+	if err != nil {
+		return err
+	}
+	_, stats, err := core.Federate(factory, shards, 5, federated.FedAvgConfig{
+		Rounds: 25, ClientFraction: 0.5, LocalEpochs: 5, LocalBatch: 16,
+		LocalLR: 0.08, Seed: 34, Workers: 4, Eval: eval, EvalEvery: 5,
+		Scheduler: sched,
+	})
+	if err != nil {
+		return err
+	}
+	final := stats[len(stats)-1]
+	fmt.Printf("FedAvg: final accuracy %.2f%% after %d rounds, %.2f MB total traffic\n",
+		final.Accuracy*100, len(stats),
+		float64(final.CumulativeUpBytes+final.CumulativeDownBytes)/1e6)
+
+	// User-level DP federated averaging.
+	res, err := core.FederatePrivately(factory, shards, 5, privacy.DPFedAvgConfig{
+		Rounds: 25, P: 0.5, LocalEpochs: 5, LocalBatch: 16, LocalLR: 0.1,
+		Clip: 5, Sigma: 0.8, Seed: 35, Eval: eval, EvalEvery: 25,
+	})
+	if err != nil {
+		return err
+	}
+	eps, err := res.Accountant.Epsilon(1e-5)
+	if err != nil {
+		return err
+	}
+	var dpAcc float64
+	for i := len(res.Stats) - 1; i >= 0; i-- {
+		if res.Stats[i].Accuracy >= 0 {
+			dpAcc = res.Stats[i].Accuracy
+			break
+		}
+	}
+	fmt.Printf("DP-FedAvg: accuracy %.2f%% at (epsilon=%.2f, delta=1e-5) user-level DP\n",
+		dpAcc*100, eps)
+	return nil
+}

@@ -1,0 +1,54 @@
+// Mood inference: reproduce the DeepMood workflow of Section IV-A on the
+// synthetic typing-dynamics corpus — per-view GRU encoders fused with a
+// Multi-view Machine head predicting session-level mood state.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mobiledl/internal/core"
+	"mobiledl/internal/data"
+	"mobiledl/internal/deepmood"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Sessions from 8 study participants, half recorded in a depressed mood
+	// state (the generator mirrors the BiAffect schema; see DESIGN.md).
+	corpus, err := data.GenerateKeystrokeCorpus(data.KeystrokeConfig{
+		NumUsers:        8,
+		SessionsPerUser: 40,
+		MoodEffect:      1.0,
+		Seed:            7,
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(7))
+	train, test, err := data.SplitSessions(rng, corpus.Sessions, 0.8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corpus: %d train / %d test sessions\n", len(train), len(test))
+
+	for _, fusion := range []deepmood.FusionKind{deepmood.FusionFC, deepmood.FusionFM, deepmood.FusionMVM} {
+		model, err := core.TrainMoodModel(train, fusion, 6, 7)
+		if err != nil {
+			return err
+		}
+		rep, err := model.Evaluate(test)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("DeepMood-%-4s  accuracy %.2f%%  weighted F1 %.2f%%\n",
+			fusion, rep.Accuracy*100, rep.F1*100)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+// Quickstart: train a small classifier with the nn substrate, evaluate it,
+// and shrink it with the Deep Compression pipeline — the minimal end-to-end
+// tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobiledl/internal/compress"
+	"mobiledl/internal/core"
+	"mobiledl/internal/data"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. A synthetic classification task (stand-in for any mobile workload).
+	fb, err := data.GenerateFedBench(data.FedBenchConfig{
+		Samples: 600, Classes: 4, Dim: 12, Seed: 42,
+	})
+	if err != nil {
+		return err
+	}
+	trainX, trainY, testX, testY, err := fb.Split(0.8)
+	if err != nil {
+		return err
+	}
+
+	// 2. Build and train an MLP.
+	model, _, err := core.NewMLP(core.MLPSpec{In: 12, Hidden: []int{32, 16}, Classes: 4, Seed: 42})
+	if err != nil {
+		return err
+	}
+	if err := core.TrainCentralized(model, trainX, trainY, 4, 20, 42); err != nil {
+		return err
+	}
+	acc, err := compress.EvalAccuracy(model, testX, testY)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("test accuracy: %.2f%%\n", acc*100)
+
+	// 3. Compress it for on-device deployment.
+	res, err := core.CompressForMobile(model, 0.7, 5)
+	if err != nil {
+		return err
+	}
+	compAcc, err := compress.EvalAccuracy(res.Model, testX, testY)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compressed %.1fx (%d B -> %d B), accuracy now %.2f%%\n",
+		res.Sizes.Ratio(), res.Sizes.DenseBytes, res.Sizes.HuffmanBytes, compAcc*100)
+	return nil
+}

@@ -1,0 +1,214 @@
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"mobiledl/internal/tensor"
+)
+
+// GradientBoosting is an XGBoost-style tree-boosting classifier [47]:
+// per-round, per-class regression trees fit to the first- and second-order
+// gradients of the softmax cross-entropy objective, with L2 leaf
+// regularization (lambda), minimum split gain (gamma) and shrinkage (eta).
+type GradientBoosting struct {
+	Rounds         int
+	MaxDepth       int
+	Eta            float64
+	Lambda         float64
+	Gamma          float64
+	MinChildWeight float64
+
+	trees     [][]*regTree // [round][class]
+	classes   int
+	baseScore float64
+}
+
+var _ Classifier = (*GradientBoosting)(nil)
+
+// NewGradientBoosting returns boosting with XGBoost-like defaults.
+func NewGradientBoosting() *GradientBoosting {
+	return &GradientBoosting{
+		Rounds:         40,
+		MaxDepth:       4,
+		Eta:            0.3,
+		Lambda:         1.0,
+		Gamma:          0.0,
+		MinChildWeight: 1.0,
+	}
+}
+
+// Name implements Classifier.
+func (m *GradientBoosting) Name() string { return "XGBoost" }
+
+// Fit implements Classifier.
+func (m *GradientBoosting) Fit(x *tensor.Matrix, labels []int, classes int) error {
+	if err := validateFit(x, labels, classes); err != nil {
+		return err
+	}
+	m.classes = classes
+	n := x.Rows()
+	logits := tensor.New(n, classes)
+	m.trees = m.trees[:0]
+
+	// Pre-sort feature orderings once; reused by every tree.
+	sorted := presortFeatures(x)
+
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	for round := 0; round < m.Rounds; round++ {
+		probs := tensor.Softmax(logits)
+		roundTrees := make([]*regTree, classes)
+		for c := 0; c < classes; c++ {
+			for i := 0; i < n; i++ {
+				p := probs.At(i, c)
+				y := 0.0
+				if labels[i] == c {
+					y = 1.0
+				}
+				grad[i] = p - y
+				hess[i] = math.Max(p*(1-p), 1e-16)
+			}
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			tree := m.growReg(x, sorted, grad, hess, idx, 0)
+			roundTrees[c] = tree
+			for i := 0; i < n; i++ {
+				logits.Set(i, c, logits.At(i, c)+m.Eta*tree.predict(x.Row(i)))
+			}
+		}
+		m.trees = append(m.trees, roundTrees)
+	}
+	return nil
+}
+
+// regTree is a regression tree over (gradient, hessian) statistics.
+type regTree struct {
+	feature   int
+	threshold float64
+	left      *regTree
+	right     *regTree
+	leaf      bool
+	weight    float64
+}
+
+func (t *regTree) predict(row []float64) float64 {
+	for !t.leaf {
+		if row[t.feature] <= t.threshold {
+			t = t.left
+		} else {
+			t = t.right
+		}
+	}
+	return t.weight
+}
+
+// presortFeatures returns, per feature, sample indices sorted by value.
+func presortFeatures(x *tensor.Matrix) [][]int {
+	out := make([][]int, x.Cols())
+	for f := 0; f < x.Cols(); f++ {
+		idx := make([]int, x.Rows())
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return x.At(idx[a], f) < x.At(idx[b], f) })
+		out[f] = idx
+	}
+	return out
+}
+
+func (m *GradientBoosting) growReg(x *tensor.Matrix, sorted [][]int, grad, hess []float64, idx []int, depth int) *regTree {
+	var gSum, hSum float64
+	for _, i := range idx {
+		gSum += grad[i]
+		hSum += hess[i]
+	}
+	leafWeight := -gSum / (hSum + m.Lambda)
+	if depth >= m.MaxDepth || len(idx) < 2 {
+		return &regTree{leaf: true, weight: leafWeight}
+	}
+
+	parentScore := gSum * gSum / (hSum + m.Lambda)
+	inSet := make(map[int]struct{}, len(idx))
+	for _, i := range idx {
+		inSet[i] = struct{}{}
+	}
+
+	bestGain := 0.0
+	bestFeature, bestThreshold := -1, 0.0
+	for f := 0; f < x.Cols(); f++ {
+		var gl, hl float64
+		var prev float64
+		first := true
+		for _, i := range sorted[f] {
+			if _, ok := inSet[i]; !ok {
+				continue
+			}
+			v := x.At(i, f)
+			if !first && v != prev && hl >= m.MinChildWeight && (hSum-hl) >= m.MinChildWeight {
+				gr := gSum - gl
+				hr := hSum - hl
+				gain := 0.5*(gl*gl/(hl+m.Lambda)+gr*gr/(hr+m.Lambda)-parentScore) - m.Gamma
+				if gain > bestGain {
+					bestGain = gain
+					bestFeature = f
+					bestThreshold = (prev + v) / 2
+				}
+			}
+			gl += grad[i]
+			hl += hess[i]
+			prev = v
+			first = false
+		}
+	}
+	if bestFeature < 0 || bestGain <= 0 {
+		return &regTree{leaf: true, weight: leafWeight}
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if x.At(i, bestFeature) <= bestThreshold {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return &regTree{leaf: true, weight: leafWeight}
+	}
+	return &regTree{
+		feature:   bestFeature,
+		threshold: bestThreshold,
+		left:      m.growReg(x, sorted, grad, hess, leftIdx, depth+1),
+		right:     m.growReg(x, sorted, grad, hess, rightIdx, depth+1),
+	}
+}
+
+// Predict implements Classifier.
+func (m *GradientBoosting) Predict(x *tensor.Matrix) ([]int, error) {
+	if len(m.trees) == 0 {
+		return nil, ErrNotFitted
+	}
+	out := make([]int, x.Rows())
+	scores := make([]float64, m.classes)
+	for i := range out {
+		row := x.Row(i)
+		for c := range scores {
+			scores[c] = 0
+		}
+		for _, round := range m.trees {
+			for c, tree := range round {
+				scores[c] += m.Eta * tree.predict(row)
+			}
+		}
+		best, bestV := 0, math.Inf(-1)
+		for c, v := range scores {
+			if v > bestV {
+				best, bestV = c, v
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}

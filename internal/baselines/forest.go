@@ -1,0 +1,140 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"mobiledl/internal/tensor"
+)
+
+// RandomForest is a bagged ensemble of CART trees with per-split feature
+// subsampling (sqrt(features) by default). Trees train concurrently.
+type RandomForest struct {
+	NumTrees       int
+	MaxDepth       int
+	MinSamplesLeaf int
+	Seed           int64
+	// Workers bounds training concurrency (0 = NumTrees, i.e. unbounded).
+	Workers int
+
+	trees   []*DecisionTree
+	classes int
+}
+
+var _ Classifier = (*RandomForest)(nil)
+
+// NewRandomForest returns a forest with 50 trees of depth 10.
+func NewRandomForest() *RandomForest {
+	return &RandomForest{NumTrees: 50, MaxDepth: 10, MinSamplesLeaf: 2, Seed: 1, Workers: 4}
+}
+
+// Name implements Classifier.
+func (m *RandomForest) Name() string { return "RandomForest" }
+
+// Fit implements Classifier.
+func (m *RandomForest) Fit(x *tensor.Matrix, labels []int, classes int) error {
+	if err := validateFit(x, labels, classes); err != nil {
+		return err
+	}
+	m.classes = classes
+	m.trees = make([]*DecisionTree, m.NumTrees)
+	maxFeatures := int(math.Sqrt(float64(x.Cols())))
+	if maxFeatures < 1 {
+		maxFeatures = 1
+	}
+
+	workers := m.Workers
+	if workers <= 0 {
+		workers = m.NumTrees
+	}
+	sem := make(chan struct{}, workers)
+	errCh := make(chan error, 1)
+	var wg sync.WaitGroup
+
+	// Pre-derive per-tree seeds deterministically so concurrency does not
+	// affect reproducibility.
+	seedRng := rand.New(rand.NewSource(m.Seed))
+	seeds := make([]int64, m.NumTrees)
+	for i := range seeds {
+		seeds[i] = seedRng.Int63()
+	}
+
+	for t := 0; t < m.NumTrees; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			rng := rand.New(rand.NewSource(seeds[t]))
+			// Bootstrap sample.
+			n := x.Rows()
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = rng.Intn(n)
+			}
+			xb, err := x.SelectRows(idx)
+			if err != nil {
+				select {
+				case errCh <- err:
+				default:
+				}
+				return
+			}
+			lb := make([]int, n)
+			for i, p := range idx {
+				lb[i] = labels[p]
+			}
+			tree := &DecisionTree{
+				MaxDepth:       m.MaxDepth,
+				MinSamplesLeaf: m.MinSamplesLeaf,
+				MaxFeatures:    maxFeatures,
+				Seed:           seeds[t],
+			}
+			if err := tree.Fit(xb, lb, classes); err != nil {
+				select {
+				case errCh <- err:
+				default:
+				}
+				return
+			}
+			m.trees[t] = tree
+		}(t)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	return nil
+}
+
+// Predict implements Classifier via soft voting over leaf distributions.
+func (m *RandomForest) Predict(x *tensor.Matrix) ([]int, error) {
+	if len(m.trees) == 0 {
+		return nil, ErrNotFitted
+	}
+	out := make([]int, x.Rows())
+	votes := make([]float64, m.classes)
+	for i := range out {
+		row := x.Row(i)
+		for c := range votes {
+			votes[c] = 0
+		}
+		for _, tree := range m.trees {
+			for c, p := range tree.PredictProba(row) {
+				votes[c] += p
+			}
+		}
+		best, bestV := 0, math.Inf(-1)
+		for c, v := range votes {
+			if v > bestV {
+				best, bestV = c, v
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mobiledl/internal/tensor"
+)
+
+// LogisticRegression is multinomial (softmax) logistic regression trained by
+// full-batch gradient descent with L2 regularization.
+type LogisticRegression struct {
+	LR     float64
+	Epochs int
+	L2     float64
+	Seed   int64
+
+	w *tensor.Matrix // (features+1) x classes, last row is bias
+}
+
+var _ Classifier = (*LogisticRegression)(nil)
+
+// NewLogisticRegression returns LR with sensible defaults for the
+// standardized features used in this repository.
+func NewLogisticRegression() *LogisticRegression {
+	return &LogisticRegression{LR: 0.1, Epochs: 300, L2: 1e-4, Seed: 1}
+}
+
+// Name implements Classifier.
+func (m *LogisticRegression) Name() string { return "LR" }
+
+// Fit implements Classifier.
+func (m *LogisticRegression) Fit(x *tensor.Matrix, labels []int, classes int) error {
+	if err := validateFit(x, labels, classes); err != nil {
+		return err
+	}
+	xb := appendBias(x)
+	rng := rand.New(rand.NewSource(m.Seed))
+	m.w = tensor.RandNormal(rng, xb.Cols(), classes, 0, 0.01)
+	n := float64(xb.Rows())
+	oneHot := tensor.New(xb.Rows(), classes)
+	for i, l := range labels {
+		oneHot.Set(i, l, 1)
+	}
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		logits, err := tensor.MatMul(xb, m.w)
+		if err != nil {
+			return fmt.Errorf("logreg fit: %w", err)
+		}
+		probs := tensor.Softmax(logits)
+		diff, err := tensor.Sub(probs, oneHot)
+		if err != nil {
+			return err
+		}
+		grad, err := tensor.TMatMul(xb, diff)
+		if err != nil {
+			return err
+		}
+		grad.ScaleInPlace(1 / n)
+		if err := tensor.AxpyInPlace(grad, m.L2, m.w); err != nil {
+			return err
+		}
+		if err := tensor.AxpyInPlace(m.w, -m.LR, grad); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (m *LogisticRegression) Predict(x *tensor.Matrix) ([]int, error) {
+	if m.w == nil {
+		return nil, ErrNotFitted
+	}
+	logits, err := tensor.MatMul(appendBias(x), m.w)
+	if err != nil {
+		return nil, err
+	}
+	return argmaxRows(logits), nil
+}
+
+// LinearSVM is a one-vs-rest linear support vector machine trained with
+// SGD on the L2-regularized hinge loss (Pegasos-style).
+type LinearSVM struct {
+	Lambda float64
+	Epochs int
+	Seed   int64
+
+	w *tensor.Matrix // (features+1) x classes
+}
+
+var _ Classifier = (*LinearSVM)(nil)
+
+// NewLinearSVM returns an SVM with defaults tuned for standardized features.
+func NewLinearSVM() *LinearSVM {
+	return &LinearSVM{Lambda: 1e-3, Epochs: 120, Seed: 1}
+}
+
+// Name implements Classifier.
+func (m *LinearSVM) Name() string { return "SVM" }
+
+// Fit implements Classifier.
+func (m *LinearSVM) Fit(x *tensor.Matrix, labels []int, classes int) error {
+	if err := validateFit(x, labels, classes); err != nil {
+		return err
+	}
+	xb := appendBias(x)
+	rng := rand.New(rand.NewSource(m.Seed))
+	m.w = tensor.New(xb.Cols(), classes)
+	n := xb.Rows()
+	t := 0
+	order := rng.Perm(n)
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			t++
+			eta := 1 / (m.Lambda * float64(t))
+			row := xb.Row(i)
+			for c := 0; c < classes; c++ {
+				y := -1.0
+				if labels[i] == c {
+					y = 1.0
+				}
+				var score float64
+				for j, v := range row {
+					score += v * m.w.At(j, c)
+				}
+				// w <- (1 - eta*lambda) w [+ eta*y*x if margin violated]
+				decay := 1 - eta*m.Lambda
+				for j := range row {
+					m.w.Set(j, c, m.w.At(j, c)*decay)
+				}
+				if y*score < 1 {
+					for j, v := range row {
+						m.w.Set(j, c, m.w.At(j, c)+eta*y*v)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (m *LinearSVM) Predict(x *tensor.Matrix) ([]int, error) {
+	if m.w == nil {
+		return nil, ErrNotFitted
+	}
+	scores, err := tensor.MatMul(appendBias(x), m.w)
+	if err != nil {
+		return nil, err
+	}
+	return argmaxRows(scores), nil
+}
+
+func appendBias(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(x.Rows(), x.Cols()+1)
+	for i := 0; i < x.Rows(); i++ {
+		row := out.Row(i)
+		copy(row, x.Row(i))
+		row[x.Cols()] = 1
+	}
+	return out
+}
+
+func argmaxRows(m *tensor.Matrix) []int {
+	out := make([]int, m.Rows())
+	for i := range out {
+		out[i] = m.ArgMaxRow(i)
+	}
+	return out
+}

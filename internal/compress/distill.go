@@ -1,0 +1,116 @@
+package compress
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mobiledl/internal/nn"
+	"mobiledl/internal/tensor"
+)
+
+// DistillConfig configures knowledge distillation (Hinton et al. [37],
+// Section III-B technique (3)): a small student mimics a large teacher by
+// training against temperature-softened teacher logits mixed with the hard
+// labels.
+type DistillConfig struct {
+	Epochs      int
+	BatchSize   int
+	Temperature float64
+	// Alpha weights the soft (teacher) term; (1-Alpha) the hard labels.
+	Alpha     float64
+	Optimizer nn.Optimizer
+	Seed      int64
+}
+
+func (c *DistillConfig) validate() error {
+	switch {
+	case c.Epochs <= 0:
+		return fmt.Errorf("%w: epochs=%d", ErrCompress, c.Epochs)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("%w: batch=%d", ErrCompress, c.BatchSize)
+	case c.Temperature <= 0:
+		return fmt.Errorf("%w: temperature=%v", ErrCompress, c.Temperature)
+	case c.Alpha < 0 || c.Alpha > 1:
+		return fmt.Errorf("%w: alpha=%v", ErrCompress, c.Alpha)
+	case c.Optimizer == nil:
+		return fmt.Errorf("%w: optimizer required", ErrCompress)
+	}
+	return nil
+}
+
+// Distill trains the student against the teacher on (x, labels) and returns
+// per-epoch mean losses. The teacher is only read (inference mode).
+func Distill(teacher, student *nn.Sequential, x *tensor.Matrix, labels []int, classes int, cfg DistillConfig) ([]float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := x.Rows()
+	if n == 0 || n != len(labels) {
+		return nil, fmt.Errorf("%w: %d rows vs %d labels", ErrCompress, n, len(labels))
+	}
+	y, err := nn.OneHot(labels, classes)
+	if err != nil {
+		return nil, err
+	}
+	// Teacher logits are fixed; compute once.
+	teacherLogits, err := teacher.Forward(x, false)
+	if err != nil {
+		return nil, fmt.Errorf("teacher forward: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	loss := nn.NewDistillationLoss(cfg.Temperature, cfg.Alpha)
+	params := student.Params()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	losses := make([]float64, 0, cfg.Epochs)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			idx := order[start:end]
+			xb, err := x.SelectRows(idx)
+			if err != nil {
+				return nil, err
+			}
+			yb, err := y.SelectRows(idx)
+			if err != nil {
+				return nil, err
+			}
+			tb, err := teacherLogits.SelectRows(idx)
+			if err != nil {
+				return nil, err
+			}
+			nn.ZeroGrads(params)
+			out, err := student.Forward(xb, true)
+			if err != nil {
+				return nil, err
+			}
+			l, err := loss.ForwardDistill(out, tb, yb)
+			if err != nil {
+				return nil, err
+			}
+			g, err := loss.Backward()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := student.Backward(g); err != nil {
+				return nil, err
+			}
+			if err := cfg.Optimizer.Step(params); err != nil {
+				return nil, err
+			}
+			epochLoss += l
+			batches++
+		}
+		losses = append(losses, epochLoss/float64(batches))
+	}
+	return losses, nil
+}

@@ -1,0 +1,104 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+
+	"mobiledl/internal/nn"
+	"mobiledl/internal/tensor"
+)
+
+// FactorizeDense replaces a Dense layer W (in x out) with two layers
+// U' (in x k) and V' (k x out) from its truncated SVD, the low-rank
+// factorization of Denton et al. [36] (Section III-B technique (2)).
+// The bias moves to the second layer; the first is bias-free (zero bias).
+func FactorizeDense(d *nn.Dense, rank int) (first, second *nn.Dense, err error) {
+	w := d.Weights().Value
+	if rank <= 0 || rank > min(w.Rows(), w.Cols()) {
+		return nil, nil, fmt.Errorf("%w: rank %d for %dx%d layer", ErrCompress, rank, w.Rows(), w.Cols())
+	}
+	svd, err := tensor.SVD(w)
+	if err != nil {
+		return nil, nil, fmt.Errorf("factorize: %w", err)
+	}
+	tr, err := svd.Truncate(rank)
+	if err != nil {
+		return nil, nil, err
+	}
+	// W ≈ (U sqrt(S)) (sqrt(S) V^T); split the singular values evenly so
+	// both factors are well-scaled.
+	u := tr.U.Clone()
+	for i := 0; i < u.Rows(); i++ {
+		row := u.Row(i)
+		for j := range row {
+			row[j] *= sqrtNonneg(tr.S[j])
+		}
+	}
+	vt := tr.V.T()
+	for i := 0; i < vt.Rows(); i++ {
+		row := vt.Row(i)
+		s := sqrtNonneg(tr.S[i])
+		for j := range row {
+			row[j] *= s
+		}
+	}
+	first, err = nn.NewDenseFrom(u, tensor.New(1, rank))
+	if err != nil {
+		return nil, nil, err
+	}
+	second, err = nn.NewDenseFrom(vt, d.Bias().Value.Clone())
+	if err != nil {
+		return nil, nil, err
+	}
+	return first, second, nil
+}
+
+func sqrtNonneg(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// FactorizeModel replaces every Dense layer whose rank reduction saves
+// parameters (k < in*out/(in+out)) with its rank-k factorization, where
+// k = ceil(rankFraction * min(in, out)). Returns the new model and the
+// parameter counts before and after.
+func FactorizeModel(model *nn.Sequential, rankFraction float64) (*nn.Sequential, int, int, error) {
+	if rankFraction <= 0 || rankFraction > 1 {
+		return nil, 0, 0, fmt.Errorf("%w: rank fraction %v", ErrCompress, rankFraction)
+	}
+	var out []nn.Layer
+	before := nn.NumParams(model.Params())
+	for _, layer := range model.Layers() {
+		d, ok := layer.(*nn.Dense)
+		if !ok {
+			out = append(out, layer)
+			continue
+		}
+		k := int(rankFraction*float64(min(d.In(), d.Out())) + 0.999)
+		if k < 1 {
+			k = 1
+		}
+		// Only factorize when it actually saves parameters, counting the
+		// extra rank-k bias the first factor introduces.
+		if k*(d.In()+d.Out()+1) >= d.In()*d.Out() {
+			out = append(out, layer)
+			continue
+		}
+		f, s, err := FactorizeDense(d, k)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		out = append(out, f, s)
+	}
+	m := nn.NewSequential(out...)
+	return m, before, nn.NumParams(m.Params()), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mobiledl/internal/data"
+	"mobiledl/internal/deepmood"
+	"mobiledl/internal/federated"
+	"mobiledl/internal/mobile"
+)
+
+func TestNewMLP(t *testing.T) {
+	model, factory, err := NewMLP(MLPSpec{In: 8, Hidden: []int{16, 8}, Classes: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.Layers()) != 5 { // dense relu dense relu dense
+		t.Fatalf("got %d layers", len(model.Layers()))
+	}
+	copy1, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Factory copies must be identically initialized.
+	if !copy1.Params()[0].Value.Equal(model.Params()[0].Value, 0) {
+		t.Fatal("factory copies differ from original")
+	}
+	if _, _, err := NewMLP(MLPSpec{In: 0, Classes: 2}); !errors.Is(err, ErrConfig) {
+		t.Fatal("want ErrConfig")
+	}
+	if _, _, err := NewMLP(MLPSpec{In: 2, Hidden: []int{-1}, Classes: 2}); !errors.Is(err, ErrConfig) {
+		t.Fatal("want ErrConfig for negative hidden")
+	}
+}
+
+func TestCentralizedAndFederatedParity(t *testing.T) {
+	fb, err := data.GenerateFedBench(data.FedBenchConfig{Samples: 400, Classes: 3, Dim: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trX, trY, teX, teY, err := fb.Split(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	central, factory, err := NewMLP(MLPSpec{In: 8, Hidden: []int{16}, Classes: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TrainCentralized(central, trX, trY, 3, 15, 4); err != nil {
+		t.Fatal(err)
+	}
+	eval := federated.AccuracyEval(teX, teY)
+	centralAcc, err := eval(central)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	shards, err := data.ShardIID(rng, trX, trY, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, stats, err := Federate(factory, shards, 3, federated.FedAvgConfig{
+		Rounds: 15, ClientFraction: 1, LocalEpochs: 3, LocalBatch: 16,
+		LocalLR: 0.1, Seed: 6, Eval: eval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fedAcc := stats[len(stats)-1].Accuracy
+	if fed == nil || fedAcc < centralAcc-0.15 {
+		t.Fatalf("federated accuracy %v too far below centralized %v", fedAcc, centralAcc)
+	}
+}
+
+func TestCompressForMobile(t *testing.T) {
+	fb, _ := data.GenerateFedBench(data.FedBenchConfig{Samples: 300, Classes: 3, Dim: 8, Seed: 7})
+	model, _, err := NewMLP(MLPSpec{In: 8, Hidden: []int{32}, Classes: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TrainCentralized(model, fb.X, fb.Labels, 3, 10, 9); err != nil {
+		t.Fatal(err)
+	}
+	res, err := CompressForMobile(model, 0.7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sizes.Ratio() <= 2 {
+		t.Fatalf("compression ratio %v", res.Sizes.Ratio())
+	}
+}
+
+func TestPlanInference(t *testing.T) {
+	model, _, err := NewMLP(MLPSpec{In: 8, Hidden: []int{32}, Classes: 3, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := PlanInference(mobile.MidrangePhone(), mobile.OfflineNetwork(), model, 4096, 1024)
+	if len(plans) != 3 {
+		t.Fatalf("got %d plans", len(plans))
+	}
+	if plans[0].Placement != mobile.PlaceLocal || !plans[0].Feasible {
+		t.Fatal("offline best plan must be local")
+	}
+}
+
+func TestMoodAndIdentityFacades(t *testing.T) {
+	corpus, err := data.GenerateKeystrokeCorpus(data.KeystrokeConfig{
+		NumUsers: 3, SessionsPerUser: 20, MoodEffect: 1.0, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	train, test, err := data.SplitSessions(rng, corpus.Sessions, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mood, err := TrainMoodModel(train, deepmood.FusionFC, 4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mood.Evaluate(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accuracy <= 0.5 {
+		t.Fatalf("mood accuracy %v at or below chance", rep.Accuracy)
+	}
+
+	id, err := TrainIdentifier(train, 3, 4, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idRep, err := id.Evaluate(deepmood.NormalizeAll(test))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idRep.Accuracy <= 1.0/3 {
+		t.Fatalf("identification accuracy %v at or below chance", idRep.Accuracy)
+	}
+}

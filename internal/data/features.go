@@ -1,0 +1,274 @@
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"mobiledl/internal/tensor"
+)
+
+// SessionFeatureDim is the dimension of the flat summary-statistic vector
+// SessionFeatures produces for the classical baselines in Table I.
+const SessionFeatureDim = 4*4 + NumSpecialKeys + 1 + 3*2 + 3 + 1
+
+// SessionFeatures flattens a session into summary statistics, the standard
+// featurization for the non-sequential baselines (LR, SVM, trees): per-view
+// means/stds, special-key counts, accelerometer moments and correlations,
+// and session length.
+func SessionFeatures(s *Session) []float64 {
+	f := make([]float64, 0, SessionFeatureDim)
+
+	// Alphanumeric: mean and std of each of the 4 channels, plus min/max of
+	// duration and inter-key (8 + 8 = 16 values).
+	for ch := 0; ch < AlphanumericDim; ch++ {
+		mean, std := columnMeanStd(s.Alphanumeric, ch)
+		lo, hi := columnMinMax(s.Alphanumeric, ch)
+		f = append(f, mean, std, lo, hi)
+	}
+
+	// Special keys: per-channel counts plus total (6 + 1).
+	counts := SpecialKeyCounts(s)
+	total := 0.0
+	for _, c := range counts {
+		f = append(f, float64(c))
+		total += float64(c)
+	}
+	f = append(f, total)
+
+	// Accelerometer: per-axis mean and std (6), pairwise correlations (3).
+	for ch := 0; ch < AccelerometerDim; ch++ {
+		mean, std := columnMeanStd(s.Accelerometer, ch)
+		f = append(f, mean, std)
+	}
+	f = append(f,
+		columnCorrelation(s.Accelerometer, 0, 1),
+		columnCorrelation(s.Accelerometer, 0, 2),
+		columnCorrelation(s.Accelerometer, 1, 2),
+	)
+
+	// Session length in keypresses.
+	f = append(f, float64(s.Alphanumeric.Rows()))
+	return f
+}
+
+// SpecialKeyCounts returns the per-channel event counts of the special view.
+func SpecialKeyCounts(s *Session) [NumSpecialKeys]int {
+	var counts [NumSpecialKeys]int
+	for i := 0; i < s.Special.Rows(); i++ {
+		row := s.Special.Row(i)
+		for ch, v := range row {
+			if v > 0 {
+				counts[ch]++
+			}
+		}
+	}
+	return counts
+}
+
+// FeatureMatrix builds the baseline design matrix X and label slice for the
+// given sessions, labeled either by user or by mood.
+func FeatureMatrix(sessions []*Session, labelByUser bool) (*tensor.Matrix, []int, error) {
+	if len(sessions) == 0 {
+		return nil, nil, fmt.Errorf("%w: no sessions", ErrConfig)
+	}
+	rows := make([][]float64, len(sessions))
+	labels := make([]int, len(sessions))
+	for i, s := range sessions {
+		rows[i] = SessionFeatures(s)
+		if labelByUser {
+			labels[i] = s.UserID
+		} else {
+			labels[i] = s.Mood
+		}
+	}
+	x, err := tensor.FromRows(rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, labels, nil
+}
+
+// Scaler standardizes features to zero mean, unit variance, fit on training
+// data and applied to both splits.
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler computes per-column mean/std over x.
+func FitScaler(x *tensor.Matrix) *Scaler {
+	cols := x.Cols()
+	s := &Scaler{Mean: make([]float64, cols), Std: make([]float64, cols)}
+	n := float64(x.Rows())
+	for i := 0; i < x.Rows(); i++ {
+		for j, v := range x.Row(i) {
+			s.Mean[j] += v
+		}
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for i := 0; i < x.Rows(); i++ {
+		for j, v := range x.Row(i) {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-9 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Transform returns a standardized copy of x.
+func (s *Scaler) Transform(x *tensor.Matrix) *tensor.Matrix {
+	out := x.Clone()
+	for i := 0; i < out.Rows(); i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] = (row[j] - s.Mean[j]) / s.Std[j]
+		}
+	}
+	return out
+}
+
+// TransformSession standardizes a session's views in place using per-view
+// global statistics (used before feeding sequences to GRUs). The scaling
+// constants are fixed rather than fit: they bring each channel to O(1).
+func NormalizeSessionViews(s *Session) *Session {
+	alpha := s.Alphanumeric.Clone()
+	for i := 0; i < alpha.Rows(); i++ {
+		row := alpha.Row(i)
+		row[0] = row[0] / 0.1 // durations ~0.1 s
+		row[1] = row[1] / 0.4 // inter-key ~0.4 s
+		row[2] = row[2] / 2.0 // key distances ~2 key widths
+		row[3] = row[3] / 1.0
+	}
+	acc := s.Accelerometer.Clone()
+	for i := 0; i < acc.Rows(); i++ {
+		row := acc.Row(i)
+		for d := range row {
+			row[d] /= 9.8 // gravity units
+		}
+	}
+	return &Session{
+		UserID:        s.UserID,
+		Mood:          s.Mood,
+		Alphanumeric:  alpha,
+		Special:       s.Special.Clone(),
+		Accelerometer: acc,
+	}
+}
+
+func columnMeanStd(m *tensor.Matrix, col int) (mean, std float64) {
+	n := m.Rows()
+	if n == 0 {
+		return 0, 0
+	}
+	for i := 0; i < n; i++ {
+		mean += m.At(i, col)
+	}
+	mean /= float64(n)
+	for i := 0; i < n; i++ {
+		d := m.At(i, col) - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std / float64(n))
+}
+
+func columnMinMax(m *tensor.Matrix, col int) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := 0; i < m.Rows(); i++ {
+		v := m.At(i, col)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if m.Rows() == 0 {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+func columnCorrelation(m *tensor.Matrix, a, b int) float64 {
+	n := m.Rows()
+	if n < 2 {
+		return 0
+	}
+	ma, sa := columnMeanStd(m, a)
+	mb, sb := columnMeanStd(m, b)
+	if sa < 1e-12 || sb < 1e-12 {
+		return 0
+	}
+	var cov float64
+	for i := 0; i < n; i++ {
+		cov += (m.At(i, a) - ma) * (m.At(i, b) - mb)
+	}
+	return cov / float64(n) / (sa * sb)
+}
+
+// UserPatternSummary captures the per-user multi-view statistics of Fig. 6:
+// alphanumeric dynamics, frequent/infrequent special-key usage, and
+// accelerometer correlation structure.
+type UserPatternSummary struct {
+	UserID            int
+	Sessions          int
+	MeanDuration      float64
+	MeanTimeSinceLast float64
+	MeanKeysPerSess   float64
+	SpecialPerSession [NumSpecialKeys]float64
+	AccelCorrXY       float64
+	AccelCorrXZ       float64
+	AccelCorrYZ       float64
+}
+
+// SummarizeUserPatterns computes Fig. 6-style per-user pattern summaries for
+// the given user IDs.
+func SummarizeUserPatterns(sessions []*Session, users []int) []UserPatternSummary {
+	out := make([]UserPatternSummary, 0, len(users))
+	for _, u := range users {
+		sum := UserPatternSummary{UserID: u}
+		var durTotal, tslTotal, keyTotal float64
+		var corrXY, corrXZ, corrYZ float64
+		for _, s := range sessions {
+			if s.UserID != u {
+				continue
+			}
+			sum.Sessions++
+			md, _ := columnMeanStd(s.Alphanumeric, 0)
+			mt, _ := columnMeanStd(s.Alphanumeric, 1)
+			durTotal += md
+			tslTotal += mt
+			keyTotal += float64(s.Alphanumeric.Rows())
+			counts := SpecialKeyCounts(s)
+			for ch, c := range counts {
+				sum.SpecialPerSession[ch] += float64(c)
+			}
+			corrXY += columnCorrelation(s.Accelerometer, 0, 1)
+			corrXZ += columnCorrelation(s.Accelerometer, 0, 2)
+			corrYZ += columnCorrelation(s.Accelerometer, 1, 2)
+		}
+		if sum.Sessions == 0 {
+			out = append(out, sum)
+			continue
+		}
+		n := float64(sum.Sessions)
+		sum.MeanDuration = durTotal / n
+		sum.MeanTimeSinceLast = tslTotal / n
+		sum.MeanKeysPerSess = keyTotal / n
+		for ch := range sum.SpecialPerSession {
+			sum.SpecialPerSession[ch] /= n
+		}
+		sum.AccelCorrXY = corrXY / n
+		sum.AccelCorrXZ = corrXZ / n
+		sum.AccelCorrYZ = corrYZ / n
+		out = append(out, sum)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package deepservice
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mobiledl/internal/data"
+	"mobiledl/internal/deepmood"
+	"mobiledl/internal/nn"
+	"mobiledl/internal/opt"
+)
+
+func corpus(t *testing.T, users, sessions int, seed int64) *data.Corpus {
+	t.Helper()
+	c, err := data.GenerateKeystrokeCorpus(data.KeystrokeConfig{
+		NumUsers:        users,
+		SessionsPerUser: sessions,
+		MoodEffect:      0.3,
+		Seed:            seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{NumUsers: 1, Hidden: 4}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+}
+
+func TestIdentifierLearnsUsers(t *testing.T) {
+	// 4-way identification on synthetic biometric signatures must beat
+	// chance (0.25) by a wide margin on held-out sessions.
+	c := corpus(t, 4, 25, 11)
+	rng := rand.New(rand.NewSource(11))
+	train, test, err := data.SplitSessions(rng, c.Sessions, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := New(Config{NumUsers: 4, Hidden: 12, Fusion: deepmood.FusionFC, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := id.Train(deepmood.NormalizeAll(train), deepmood.TrainConfig{
+		Epochs:    12,
+		BatchSize: 8,
+		Optimizer: opt.NewAdam(0.01),
+		Rng:       rng,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := id.Evaluate(deepmood.NormalizeAll(test))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accuracy < 0.6 {
+		t.Fatalf("4-way identification accuracy %v, want >= 0.6", rep.Accuracy)
+	}
+	if rep.F1 <= 0 || rep.F1 > 1 {
+		t.Fatalf("bad F1 %v", rep.F1)
+	}
+}
+
+func TestPairwiseIdentification(t *testing.T) {
+	c := corpus(t, 3, 20, 13)
+	results, err := EvaluatePairs(c.Sessions, []int{0, 1, 2}, PairwiseConfig{
+		Hidden:    6,
+		Fusion:    deepmood.FusionFC,
+		Epochs:    4,
+		BatchSize: 8,
+		Seed:      13,
+	}, func() nn.Optimizer { return opt.NewAdam(0.01) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 { // C(3,2)
+		t.Fatalf("got %d pair results, want 3", len(results))
+	}
+	acc, f1 := MeanPairMetrics(results)
+	if acc < 0.7 {
+		t.Fatalf("mean pairwise accuracy %v, want >= 0.7", acc)
+	}
+	if f1 <= 0 {
+		t.Fatalf("mean pairwise F1 %v", f1)
+	}
+}
+
+func TestMeanPairMetricsEmpty(t *testing.T) {
+	acc, f1 := MeanPairMetrics(nil)
+	if acc != 0 || f1 != 0 {
+		t.Fatal("empty results should give zeros")
+	}
+}
+
+func TestEvaluatePairsValidation(t *testing.T) {
+	c := corpus(t, 2, 5, 1)
+	if _, err := EvaluatePairs(c.Sessions, []int{0}, PairwiseConfig{Hidden: 2}, func() nn.Optimizer {
+		return opt.NewAdam(0.01)
+	}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"mobiledl/internal/baselines"
+	"mobiledl/internal/data"
+	"mobiledl/internal/deepmood"
+	"mobiledl/internal/metrics"
+	"mobiledl/internal/opt"
+)
+
+func init() {
+	register("deepmood", "IV-A: DeepMood (FC/FM/MVM fusion) vs shallow baselines on mood inference", runDeepMood)
+}
+
+// DeepMoodRow is one method's mood-classification accuracy (E12).
+type DeepMoodRow struct {
+	Method   string
+	Accuracy float64
+	F1       float64
+}
+
+// DeepMoodComparison trains the three fusion variants of DeepMood and all
+// shallow baselines on the synthetic mood corpus.
+func DeepMoodComparison(scale Scale) ([]DeepMoodRow, error) {
+	users := 6
+	sessions := 30
+	epochs := 8
+	if scale == Full {
+		users = 12
+		sessions = 60
+		epochs = 8
+	}
+	corpus, err := data.GenerateKeystrokeCorpus(data.KeystrokeConfig{
+		NumUsers:        users,
+		SessionsPerUser: sessions,
+		MoodEffect:      1.0,
+		Seed:            1301,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(1302))
+	train, test, err := data.SplitSessions(rng, corpus.Sessions, 0.8)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []DeepMoodRow
+
+	// Shallow baselines on flattened features.
+	trX, trY, err := data.FeatureMatrix(train, false)
+	if err != nil {
+		return nil, err
+	}
+	teX, teY, err := data.FeatureMatrix(test, false)
+	if err != nil {
+		return nil, err
+	}
+	scaler := data.FitScaler(trX)
+	trXs, teXs := scaler.Transform(trX), scaler.Transform(teX)
+	for _, clf := range []baselines.Classifier{
+		baselines.NewLogisticRegression(),
+		baselines.NewLinearSVM(),
+		baselines.NewRandomForest(),
+		baselines.NewGradientBoosting(),
+	} {
+		if err := clf.Fit(trXs, trY, data.NumMoods); err != nil {
+			return nil, err
+		}
+		preds, err := clf.Predict(teXs)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := metrics.Evaluate(preds, teY, data.NumMoods)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, DeepMoodRow{Method: clf.Name(), Accuracy: rep.Accuracy, F1: rep.F1})
+	}
+
+	// DeepMood with each fusion head.
+	trainN := deepmood.NormalizeAll(train)
+	testN := deepmood.NormalizeAll(test)
+	for _, fus := range []deepmood.FusionKind{deepmood.FusionFC, deepmood.FusionFM, deepmood.FusionMVM} {
+		model, err := deepmood.New(deepmood.Config{
+			Task:        deepmood.TaskMood,
+			Classes:     data.NumMoods,
+			Hidden:      12,
+			Fusion:      fus,
+			FusionUnits: 8,
+			Seed:        1303,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := model.Train(trainN, deepmood.TrainConfig{
+			Epochs:    epochs,
+			BatchSize: 8,
+			Optimizer: opt.NewAdam(0.01),
+			Rng:       rand.New(rand.NewSource(1304)),
+		}); err != nil {
+			return nil, err
+		}
+		preds, err := model.PredictAll(testN)
+		if err != nil {
+			return nil, err
+		}
+		truth := make([]int, len(testN))
+		for i, s := range testN {
+			truth[i] = s.Mood
+		}
+		rep, err := metrics.Evaluate(preds, truth, data.NumMoods)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, DeepMoodRow{
+			Method:   "DeepMood-" + string(fus),
+			Accuracy: rep.Accuracy,
+			F1:       rep.F1,
+		})
+	}
+	return rows, nil
+}
+
+func runDeepMood(w io.Writer, scale Scale) error {
+	rows, err := DeepMoodComparison(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-16s %10s %10s\n", "method", "accuracy", "F1")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %10s %10s\n", r.Method, pct(r.Accuracy), pct(r.F1))
+	}
+	fmt.Fprintln(w, "\nPaper (IV-A): DeepMood reaches ~90.31% session-level accuracy; it beats the")
+	fmt.Fprintln(w, "best shallow ensemble (XGBoost) by ~5.56 points, and plain LR/SVM are a poor")
+	fmt.Fprintln(w, "fit for the sequential task.")
+	return nil
+}

@@ -1,0 +1,83 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (see DESIGN.md's per-experiment index E1-E13). Each
+// runner generates its workload, executes the relevant systems, and renders
+// the same rows/series the paper reports. Runners accept a Scale so tests
+// and benchmarks can use reduced workloads while cmd/paperbench runs the
+// full configuration.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ErrUnknown reports a request for an unregistered experiment.
+var ErrUnknown = errors.New("experiments: unknown experiment")
+
+// Scale selects the workload size.
+type Scale int
+
+// Workload scales.
+const (
+	// Quick shrinks workloads so the whole suite runs in tens of seconds;
+	// used by unit tests.
+	Quick Scale = iota + 1
+	// Full is the configuration cmd/paperbench uses for EXPERIMENTS.md.
+	Full
+)
+
+// Runner executes one experiment and writes its table to w.
+type Runner func(w io.Writer, scale Scale) error
+
+// registry maps experiment ids to runners. Populated by init functions in
+// this package's files — acceptable per the style guide as a pluggable
+// registry of deterministic constructors.
+var registry = map[string]registration{}
+
+type registration struct {
+	runner      Runner
+	description string
+}
+
+func register(name, description string, r Runner) {
+	registry[name] = registration{runner: r, description: description}
+}
+
+// Run executes the named experiment at the given scale.
+func Run(w io.Writer, name string, scale Scale) error {
+	reg, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("%w: %q (try one of %v)", ErrUnknown, name, Names())
+	}
+	return reg.runner(w, scale)
+}
+
+// Names lists registered experiment ids in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(name string) string {
+	return registry[name].description
+}
+
+// RunAll executes every registered experiment.
+func RunAll(w io.Writer, scale Scale) error {
+	for _, name := range Names() {
+		fmt.Fprintf(w, "\n===== %s — %s =====\n", name, Describe(name))
+		if err := Run(w, name, scale); err != nil {
+			return fmt.Errorf("experiment %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"mobiledl/internal/data"
+	"mobiledl/internal/federated"
+	"mobiledl/internal/nn"
+	"mobiledl/internal/privacy"
+)
+
+func init() {
+	register("selsgd", "Fig. 1 / [16]: distributed selective SGD — accuracy vs upload fraction theta", runSelSGD)
+	register("fedavg", "II-B claim: FedAvg vs naive distributed SGD — rounds and bytes to target", runFedAvg)
+	register("dpfed", "II-C claim: DP-FedAvg accuracy and epsilon vs noise; accountant vs composition", runDPFed)
+}
+
+// fedTask builds the shared federated workload: a synthetic classification
+// task sharded over clients with an MLP factory and held-out eval.
+func fedTask(scale Scale, clients int, iid bool, seed int64) (federated.ModelFactory, []*data.ClientShard, func(*nn.Sequential) (float64, error), int, error) {
+	samples := 600
+	if scale == Full {
+		samples = 1500
+	}
+	fb, err := data.GenerateFedBench(data.FedBenchConfig{Samples: samples, Classes: 5, Dim: 10, Seed: seed})
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	trX, trY, teX, teY, err := fb.Split(0.8)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	var shards []*data.ClientShard
+	if iid {
+		shards, err = data.ShardIID(rng, trX, trY, clients)
+	} else {
+		shards, err = data.ShardNonIID(rng, trX, trY, clients)
+	}
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	factory := func() (*nn.Sequential, error) {
+		r := rand.New(rand.NewSource(42))
+		return nn.NewSequential(
+			nn.NewDense(r, 10, 24),
+			nn.NewReLU(),
+			nn.NewDense(r, 24, 5),
+		), nil
+	}
+	return factory, shards, federated.AccuracyEval(teX, teY), 5, nil
+}
+
+// SelSGDPoint is one theta setting's outcome (E4).
+type SelSGDPoint struct {
+	Theta    float64
+	Accuracy float64
+	UpMB     float64
+}
+
+// SelSGD sweeps the selective-SGD upload fraction.
+func SelSGD(scale Scale) ([]SelSGDPoint, error) {
+	rounds := 10
+	clients := 4
+	if scale == Full {
+		rounds = 25
+		clients = 8
+	}
+	var points []SelSGDPoint
+	for _, theta := range []float64{0.01, 0.1, 1.0} {
+		factory, shards, eval, classes, err := fedTask(scale, clients, true, 700)
+		if err != nil {
+			return nil, err
+		}
+		_, stats, err := federated.RunSelectiveSGD(factory, shards, classes, federated.SelectiveSGDConfig{
+			Rounds:           rounds,
+			Theta:            theta,
+			DownloadFraction: 1.0,
+			LocalEpochs:      1,
+			LocalBatch:       16,
+			LocalLR:          0.1,
+			Seed:             7,
+			Eval:             eval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		final := stats[len(stats)-1]
+		points = append(points, SelSGDPoint{
+			Theta:    theta,
+			Accuracy: final.Accuracy,
+			UpMB:     float64(final.CumulativeUpBytes) / 1e6,
+		})
+	}
+	return points, nil
+}
+
+func runSelSGD(w io.Writer, scale Scale) error {
+	points, err := SelSGD(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %10s %12s\n", "theta", "accuracy", "upload (MB)")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-8.2f %10s %12.3f\n", p.Theta, pct(p.Accuracy), p.UpMB)
+	}
+	fmt.Fprintln(w, "\nPaper ([16], Fig. 1 framework): sharing even 10% of updates retains most of")
+	fmt.Fprintln(w, "the collaborative accuracy while proportionally cutting upload traffic.")
+	return nil
+}
+
+// FedAvgRow compares one local-computation setting (E5).
+type FedAvgRow struct {
+	Name          string
+	LocalEpochs   int
+	RoundsToHit   int
+	MBToHit       float64
+	FinalAccuracy float64
+}
+
+// FedAvgComparison runs naive distributed SGD (E=1, full batch) against
+// FedAvg with increasing local computation on a non-IID sharding.
+func FedAvgComparison(scale Scale) ([]FedAvgRow, float64, error) {
+	target := 0.85
+	maxRounds := 60
+	clients := 8
+	if scale == Full {
+		maxRounds = 150
+		clients = 16
+	}
+	settings := []struct {
+		name   string
+		epochs int
+		batch  int
+	}{
+		{"FedSGD (E=1, full batch)", 1, 0},
+		{"FedAvg (E=5, B=16)", 5, 16},
+		{"FedAvg (E=20, B=16)", 20, 16},
+	}
+	var rows []FedAvgRow
+	for _, s := range settings {
+		factory, shards, eval, classes, err := fedTask(scale, clients, false, 800)
+		if err != nil {
+			return nil, 0, err
+		}
+		_, stats, err := federated.RunFedAvg(factory, shards, classes, federated.FedAvgConfig{
+			Rounds:         maxRounds,
+			ClientFraction: 1.0,
+			LocalEpochs:    s.epochs,
+			LocalBatch:     s.batch,
+			LocalLR:        0.08,
+			Seed:           9,
+			Workers:        4,
+			Eval:           eval,
+			TargetAccuracy: target,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		final := stats[len(stats)-1]
+		rows = append(rows, FedAvgRow{
+			Name:          s.name,
+			LocalEpochs:   s.epochs,
+			RoundsToHit:   federated.RoundsToTarget(stats, target),
+			MBToHit:       float64(federated.BytesToTarget(stats, target)) / 1e6,
+			FinalAccuracy: final.Accuracy,
+		})
+	}
+	return rows, target, nil
+}
+
+func runFedAvg(w io.Writer, scale Scale) error {
+	rows, target, err := FedAvgComparison(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "target accuracy: %s (non-IID shards)\n\n", pct(target))
+	fmt.Fprintf(w, "%-28s %16s %14s %12s\n", "scheme", "rounds to target", "MB to target", "final acc")
+	for _, r := range rows {
+		rounds := fmt.Sprintf("%d", r.RoundsToHit)
+		mb := fmt.Sprintf("%.2f", r.MBToHit)
+		if r.RoundsToHit < 0 {
+			rounds, mb = "not reached", "-"
+		}
+		fmt.Fprintf(w, "%-28s %16s %14s %12s\n", r.Name, rounds, mb, pct(r.FinalAccuracy))
+	}
+	fmt.Fprintln(w, "\nPaper (II-B, [18]): multiple local epochs before upload reach a target with")
+	fmt.Fprintln(w, "10-100x less communication than naively distributed (one-step) SGD.")
+	return nil
+}
+
+// DPFedRow is one noise setting of E6.
+type DPFedRow struct {
+	Sigma    float64
+	Accuracy float64
+	Epsilon  float64 // moments accountant, delta=1e-5 (Inf if sigma=0)
+}
+
+// DPFed sweeps the DP-FedAvg noise multiplier and reports accuracy and the
+// accountant's epsilon, plus the strong-composition epsilon for contrast.
+func DPFed(scale Scale) ([]DPFedRow, float64, error) {
+	rounds := 15
+	clients := 10
+	if scale == Full {
+		rounds = 40
+		clients = 20
+	}
+	var rows []DPFedRow
+	for _, sigma := range []float64{0, 0.5, 1.0, 2.0} {
+		factory, shards, eval, classes, err := fedTask(scale, clients, true, 900)
+		if err != nil {
+			return nil, 0, err
+		}
+		res, err := privacy.RunDPFedAvg(factory, shards, classes, privacy.DPFedAvgConfig{
+			Rounds:      rounds,
+			P:           0.5,
+			LocalEpochs: 3,
+			LocalBatch:  16,
+			LocalLR:     0.15,
+			Clip:        5.0,
+			Sigma:       sigma,
+			Seed:        13,
+			Eval:        eval,
+			EvalEvery:   rounds, // final eval only
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		row := DPFedRow{Sigma: sigma, Epsilon: -1}
+		for i := len(res.Stats) - 1; i >= 0; i-- {
+			if res.Stats[i].Accuracy >= 0 {
+				row.Accuracy = res.Stats[i].Accuracy
+				break
+			}
+		}
+		if res.Accountant != nil {
+			eps, err := res.Accountant.Epsilon(1e-5)
+			if err != nil {
+				return nil, 0, err
+			}
+			row.Epsilon = eps
+		}
+		rows = append(rows, row)
+	}
+	// Contrast figure: advanced composition at the sigma=1 settings, with the
+	// per-round epsilon of the same subsampled Gaussian step
+	// (eps0 = q * sqrt(2 ln(1.25/delta)) / sigma).
+	eps0 := 0.5 * math.Sqrt(2*math.Log(1.25/1e-5)) / 1.0
+	strong, err := privacy.StrongCompositionEpsilon(eps0, rounds, 1e-5)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rows, strong, nil
+}
+
+func runDPFed(w io.Writer, scale Scale) error {
+	rows, strongEps, err := DPFed(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-8s %10s %22s\n", "sigma", "accuracy", "epsilon (delta=1e-5)")
+	for _, r := range rows {
+		eps := "n/a (no noise)"
+		if r.Epsilon >= 0 {
+			eps = fmt.Sprintf("%.3f", r.Epsilon)
+		}
+		fmt.Fprintf(w, "%-8.2f %10s %22s\n", r.Sigma, pct(r.Accuracy), eps)
+	}
+	fmt.Fprintf(w, "\nstrong-composition epsilon at the same round count (eps0=0.5): %.2f\n", strongEps)
+	fmt.Fprintln(w, "\nPaper (II-C, [22]): with clipping + sampling + noisy averaging the model keeps")
+	fmt.Fprintln(w, "its accuracy at a user-level DP guarantee, and the moments accountant certifies")
+	fmt.Fprintln(w, "a far smaller epsilon than generic composition.")
+	return nil
+}

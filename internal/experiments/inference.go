@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"mobiledl/internal/data"
+	"mobiledl/internal/mobile"
+	"mobiledl/internal/nn"
+	"mobiledl/internal/opt"
+	"mobiledl/internal/split"
+)
+
+func init() {
+	register("placement", "Figs. 2-3 / III: cloud vs local vs split inference cost on WiFi/LTE/offline", runPlacement)
+	register("arden", "III-A ([30]): noisy training recovers accuracy under private split inference", runArden)
+}
+
+// PlacementRow is one (model, network, placement) cost estimate (E7).
+type PlacementRow struct {
+	Model     string
+	Network   string
+	Placement string
+	LatencyMs float64
+	EnergyMJ  float64 // millijoules
+	UpKB      float64
+	Feasible  bool
+}
+
+// Placement evaluates the three inference placements for a small and a deep
+// model across the three connectivity states.
+func Placement(Scale) ([]PlacementRow, error) {
+	phone := mobile.MidrangePhone()
+	cloud := mobile.CloudServer()
+	models := []struct {
+		name string
+		w    mobile.Workload
+	}{
+		{"small-mlp (2 MMAC)", mobile.Workload{
+			TotalMACs: 2e6, LocalMACs: 2e5, ModelBytes: 2 << 20,
+			InputBytes: 4 << 10, PayloadBytes: 1 << 10, OutputBytes: 256,
+		}},
+		{"deep-cnn (5 GMAC)", mobile.Workload{
+			TotalMACs: 5e9, LocalMACs: 1e8, ModelBytes: 200 << 20,
+			InputBytes: 600 << 10, PayloadBytes: 48 << 10, OutputBytes: 1 << 10,
+		}},
+	}
+	networks := []mobile.Network{mobile.WiFiNetwork(), mobile.LTENetwork(), mobile.OfflineNetwork()}
+
+	var rows []PlacementRow
+	for _, m := range models {
+		for _, net := range networks {
+			for _, plan := range mobile.ComparePlacements(phone, cloud, net, m.w) {
+				rows = append(rows, PlacementRow{
+					Model:     m.name,
+					Network:   net.Kind.String(),
+					Placement: plan.Placement.String(),
+					LatencyMs: plan.LatencyMs,
+					EnergyMJ:  plan.EnergyJ * 1000,
+					UpKB:      float64(plan.UpBytes) / 1024,
+					Feasible:  plan.Feasible,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+func runPlacement(w io.Writer, scale Scale) error {
+	rows, err := Placement(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-20s %-9s %-10s %12s %12s %10s %9s\n",
+		"model", "network", "placement", "latency(ms)", "energy(mJ)", "up(KB)", "feasible")
+	for _, r := range rows {
+		if !r.Feasible {
+			fmt.Fprintf(w, "%-20s %-9s %-10s %12s %12s %10s %9v\n",
+				r.Model, r.Network, r.Placement, "-", "-", "-", false)
+			continue
+		}
+		fmt.Fprintf(w, "%-20s %-9s %-10s %12.2f %12.3f %10.1f %9v\n",
+			r.Model, r.Network, r.Placement, r.LatencyMs, r.EnergyMJ, r.UpKB, r.Feasible)
+	}
+	fmt.Fprintln(w, "\nPaper (III, Figs. 2-3): deep models favor cloud/split offloading when")
+	fmt.Fprintln(w, "connected (the phone is compute-bound); offline forces local inference;")
+	fmt.Fprintln(w, "split inference uploads far less than raw-input cloud inference.")
+	return nil
+}
+
+// ArdenRow is one perturbation setting of E8.
+type ArdenRow struct {
+	NullRate   float64
+	Sigma      float64
+	Epsilon    float64 // per-query DP at delta=1e-5; -1 when sigma=0
+	CleanAcc   float64 // cloud net trained on clean representations
+	NoisyAcc   float64 // cloud net trained with noisy training
+	PayloadCut float64 // payload reduction vs raw input (x smaller)
+}
+
+// Arden sweeps the ARDEN perturbation strength and compares clean- vs
+// noisy-trained cloud networks under perturbed inference.
+func Arden(scale Scale) ([]ArdenRow, error) {
+	samples := 600
+	epochs := 20
+	evalReps := 3
+	if scale == Full {
+		samples = 1200
+		epochs = 35
+		evalReps = 7
+	}
+	fb, err := data.GenerateFedBench(data.FedBenchConfig{Samples: samples, Classes: 3, Dim: 12, Seed: 1100})
+	if err != nil {
+		return nil, err
+	}
+	trX, trY, teX, teY, err := fb.Split(0.8)
+	if err != nil {
+		return nil, err
+	}
+
+	build := func(nullRate, sigma float64) (*split.Pipeline, error) {
+		lr := rand.New(rand.NewSource(51))
+		local := nn.NewSequential(nn.NewDense(lr, 12, 6), nn.NewTanh())
+		cr := rand.New(rand.NewSource(52))
+		cloudNet := nn.NewSequential(nn.NewDense(cr, 6, 20), nn.NewReLU(), nn.NewDense(cr, 20, 3))
+		return split.New(split.Config{
+			Local: local, Cloud: cloudNet,
+			NullRate: nullRate, NoiseSigma: sigma, Bound: 2.0,
+		})
+	}
+
+	evalPerturbed := func(p *split.Pipeline) (float64, error) {
+		var total float64
+		for i := 0; i < evalReps; i++ {
+			acc, err := p.Accuracy(rand.New(rand.NewSource(int64(900+i))), teX, teY)
+			if err != nil {
+				return 0, err
+			}
+			total += acc
+		}
+		return total / float64(evalReps), nil
+	}
+
+	settings := []struct{ null, sigma float64 }{
+		{0, 0},
+		{0.1, 0.3},
+		{0.25, 0.6},
+		{0.4, 1.0},
+	}
+	var rows []ArdenRow
+	for _, s := range settings {
+		row := ArdenRow{NullRate: s.null, Sigma: s.sigma, Epsilon: -1}
+		for _, noisy := range []bool{false, true} {
+			p, err := build(s.null, s.sigma)
+			if err != nil {
+				return nil, err
+			}
+			frac := 0.0
+			if noisy {
+				frac = 2
+			}
+			if _, err := p.TrainCloud(trX, trY, 3, split.TrainConfig{
+				Epochs:        epochs,
+				BatchSize:     32,
+				Optimizer:     opt.NewAdam(0.01),
+				Rng:           rand.New(rand.NewSource(77)),
+				NoisyFraction: frac,
+			}); err != nil {
+				return nil, err
+			}
+			acc, err := evalPerturbed(p)
+			if err != nil {
+				return nil, err
+			}
+			if noisy {
+				row.NoisyAcc = acc
+			} else {
+				row.CleanAcc = acc
+			}
+			if s.sigma > 0 {
+				eps, err := p.Epsilon(1e-5)
+				if err != nil {
+					return nil, err
+				}
+				row.Epsilon = eps
+			}
+			raw, transformed := p.PayloadBytes(12)
+			row.PayloadCut = float64(raw) / float64(transformed)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runArden(w io.Writer, scale Scale) error {
+	rows, err := Arden(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-10s %-8s %10s %14s %14s %12s\n",
+		"nullrate", "sigma", "epsilon", "clean-trained", "noisy-trained", "payload cut")
+	for _, r := range rows {
+		eps := "-"
+		if r.Epsilon >= 0 {
+			eps = fmt.Sprintf("%.2f", r.Epsilon)
+		}
+		fmt.Fprintf(w, "%-10.2f %-8.2f %10s %14s %14s %11.1fx\n",
+			r.NullRate, r.Sigma, eps, pct(r.CleanAcc), pct(r.NoisyAcc), r.PayloadCut)
+	}
+	fmt.Fprintln(w, "\nPaper (III-A, [30]): perturbation degrades a conventionally trained cloud")
+	fmt.Fprintln(w, "model; noisy training recovers most of the loss while the transmitted")
+	fmt.Fprintln(w, "representation stays smaller than the raw input and carries a DP guarantee.")
+	return nil
+}

@@ -1,0 +1,272 @@
+// Package federated implements the two distributed-training schemes of
+// Section II: the distributed selective SGD of Shokri & Shmatikov [16]
+// (Fig. 1) with a global parameter server and top-|g| selective gradient
+// exchange, and Google's federated averaging [17, 18] with client sampling,
+// multiple local epochs, and n_k/n-weighted aggregation. Both account for
+// communicated bytes so the paper's 10-100x communication-saving claim
+// (Section II-B) can be reproduced, and a device-eligibility scheduler
+// models the "idle, plugged in, on WiFi" participation constraint.
+package federated
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"mobiledl/internal/data"
+	"mobiledl/internal/nn"
+	"mobiledl/internal/opt"
+	"mobiledl/internal/tensor"
+)
+
+// ErrConfig reports an invalid federated configuration.
+var ErrConfig = errors.New("federated: invalid configuration")
+
+// BytesPerValue is the wire size of one parameter or gradient value
+// (float64). Selective uploads additionally pay BytesPerIndex per value.
+const (
+	BytesPerValue = 8
+	BytesPerIndex = 4
+)
+
+// ModelFactory constructs a fresh model with the reference architecture.
+// Every client and the server instantiate through the same factory so
+// parameter lists align index-by-index.
+type ModelFactory func() (*nn.Sequential, error)
+
+// RoundStats records one communication round of a federated run.
+type RoundStats struct {
+	Round     int
+	TrainLoss float64
+	// Accuracy is the evaluation result for this round (NaN if the round
+	// was not evaluated; see Config.EvalEvery).
+	Accuracy float64
+	// CumulativeUpBytes / CumulativeDownBytes count all client-server
+	// traffic up to and including this round.
+	CumulativeUpBytes   int64
+	CumulativeDownBytes int64
+	ParticipatingUsers  int
+}
+
+// FedAvgConfig configures a federated-averaging run (McMahan et al. [18]).
+type FedAvgConfig struct {
+	Rounds int
+	// ClientFraction is C: the fraction of eligible clients sampled per round.
+	ClientFraction float64
+	// LocalEpochs is E: local passes per round. E=1 with full-batch clients
+	// degenerates to naive distributed SGD (FedSGD), the paper's baseline.
+	LocalEpochs int
+	// LocalBatch is B: the local minibatch size (0 = full batch).
+	LocalBatch int
+	LocalLR    float64
+	Seed       int64
+	// Workers bounds client-training concurrency (0 = one per client).
+	Workers int
+	// Eval, if non-nil, scores the global model; it runs every EvalEvery
+	// rounds (default 1) and on the final round.
+	Eval      func(model *nn.Sequential) (float64, error)
+	EvalEvery int
+	// TargetAccuracy stops the run early once Eval reaches it (0 = run all
+	// rounds). Used to measure rounds/bytes-to-target.
+	TargetAccuracy float64
+	// Scheduler, if non-nil, gates which clients are eligible each round.
+	Scheduler *Scheduler
+}
+
+func (c *FedAvgConfig) validate(numClients int) error {
+	switch {
+	case c.Rounds <= 0:
+		return fmt.Errorf("%w: Rounds=%d", ErrConfig, c.Rounds)
+	case c.ClientFraction <= 0 || c.ClientFraction > 1:
+		return fmt.Errorf("%w: ClientFraction=%v", ErrConfig, c.ClientFraction)
+	case c.LocalEpochs <= 0:
+		return fmt.Errorf("%w: LocalEpochs=%d", ErrConfig, c.LocalEpochs)
+	case c.LocalLR <= 0:
+		return fmt.Errorf("%w: LocalLR=%v", ErrConfig, c.LocalLR)
+	case numClients == 0:
+		return fmt.Errorf("%w: no client shards", ErrConfig)
+	}
+	return nil
+}
+
+// clientUpdate is one client's contribution to a round.
+type clientUpdate struct {
+	weights []*tensor.Matrix
+	n       int // local sample count (n_k)
+	loss    float64
+	err     error
+}
+
+// RunFedAvg executes federated averaging over the client shards and returns
+// the final global model plus per-round statistics.
+func RunFedAvg(factory ModelFactory, shards []*data.ClientShard, classes int, cfg FedAvgConfig) (*nn.Sequential, []RoundStats, error) {
+	if err := cfg.validate(len(shards)); err != nil {
+		return nil, nil, err
+	}
+	global, err := factory()
+	if err != nil {
+		return nil, nil, fmt.Errorf("build global model: %w", err)
+	}
+	globalParams := global.Params()
+	paramBytes := int64(nn.NumParams(globalParams)) * BytesPerValue
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+
+	var stats []RoundStats
+	var upBytes, downBytes int64
+
+	for round := 0; round < cfg.Rounds; round++ {
+		eligible := make([]int, 0, len(shards))
+		for k := range shards {
+			if cfg.Scheduler == nil || cfg.Scheduler.Eligible(k) {
+				eligible = append(eligible, k)
+			}
+		}
+		if cfg.Scheduler != nil {
+			cfg.Scheduler.Advance()
+		}
+		if len(eligible) == 0 {
+			stats = append(stats, RoundStats{
+				Round: round, TrainLoss: 0, Accuracy: -1,
+				CumulativeUpBytes: upBytes, CumulativeDownBytes: downBytes,
+			})
+			continue
+		}
+		m := int(cfg.ClientFraction * float64(len(eligible)))
+		if m < 1 {
+			m = 1
+		}
+		rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+		selected := eligible[:m]
+
+		// Deterministic per-client seeds drawn before the concurrent phase.
+		seeds := make([]int64, len(selected))
+		for i := range seeds {
+			seeds[i] = rng.Int63()
+		}
+
+		updates := make([]clientUpdate, len(selected))
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = len(selected)
+		}
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, k := range selected {
+			wg.Add(1)
+			go func(i, k int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				updates[i] = trainClient(factory, globalParams, shards[k], classes, cfg, seeds[i])
+			}(i, k)
+		}
+		wg.Wait()
+
+		var totalN int
+		var roundLoss float64
+		for _, u := range updates {
+			if u.err != nil {
+				return nil, nil, fmt.Errorf("round %d client: %w", round, u.err)
+			}
+			totalN += u.n
+			roundLoss += u.loss * float64(u.n)
+		}
+		roundLoss /= float64(totalN)
+
+		// Weighted average: w_{t+1} = sum_k (n_k / n) w^k_{t+1}.
+		for pi, gp := range globalParams {
+			gp.Value.Zero()
+			for _, u := range updates {
+				if err := tensor.AxpyInPlace(gp.Value, float64(u.n)/float64(totalN), u.weights[pi]); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+
+		downBytes += int64(m) * paramBytes // model broadcast
+		upBytes += int64(m) * paramBytes   // full-model uploads
+
+		st := RoundStats{
+			Round:               round,
+			TrainLoss:           roundLoss,
+			Accuracy:            -1,
+			CumulativeUpBytes:   upBytes,
+			CumulativeDownBytes: downBytes,
+			ParticipatingUsers:  m,
+		}
+		if cfg.Eval != nil && (round%evalEvery == 0 || round == cfg.Rounds-1) {
+			acc, err := cfg.Eval(global)
+			if err != nil {
+				return nil, nil, fmt.Errorf("round %d eval: %w", round, err)
+			}
+			st.Accuracy = acc
+			stats = append(stats, st)
+			if cfg.TargetAccuracy > 0 && acc >= cfg.TargetAccuracy {
+				return global, stats, nil
+			}
+			continue
+		}
+		stats = append(stats, st)
+	}
+	return global, stats, nil
+}
+
+// trainClient copies the global weights into a fresh local model, runs E
+// local epochs of SGD, and returns the resulting weights.
+func trainClient(factory ModelFactory, globalParams []*nn.Param, shard *data.ClientShard, classes int, cfg FedAvgConfig, seed int64) clientUpdate {
+	local, err := factory()
+	if err != nil {
+		return clientUpdate{err: err}
+	}
+	if err := nn.CopyWeights(local.Params(), globalParams); err != nil {
+		return clientUpdate{err: err}
+	}
+	y, err := nn.OneHot(shard.Labels, classes)
+	if err != nil {
+		return clientUpdate{err: err}
+	}
+	batch := cfg.LocalBatch
+	if batch <= 0 || batch > shard.Size() {
+		batch = shard.Size()
+	}
+	losses, err := nn.Train(local, shard.X, y, nn.TrainConfig{
+		Epochs:    cfg.LocalEpochs,
+		BatchSize: batch,
+		Optimizer: opt.NewSGD(cfg.LocalLR),
+		Loss:      nn.NewSoftmaxCrossEntropy(),
+		Rng:       rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		return clientUpdate{err: err}
+	}
+	params := local.Params()
+	weights := make([]*tensor.Matrix, len(params))
+	for i, p := range params {
+		weights[i] = p.Value
+	}
+	return clientUpdate{weights: weights, n: shard.Size(), loss: losses[len(losses)-1]}
+}
+
+// AccuracyEval builds an Eval callback scoring classification accuracy on a
+// held-out set.
+func AccuracyEval(x *tensor.Matrix, labels []int) func(*nn.Sequential) (float64, error) {
+	return func(m *nn.Sequential) (float64, error) {
+		preds, err := m.Predict(x)
+		if err != nil {
+			return 0, err
+		}
+		correct := 0
+		for i, p := range preds {
+			if p == labels[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(labels)), nil
+	}
+}

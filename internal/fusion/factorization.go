@@ -1,0 +1,279 @@
+package fusion
+
+import (
+	"math/rand"
+
+	"mobiledl/internal/nn"
+	"mobiledl/internal/tensor"
+)
+
+// FactorizationMachine implements Eq. 3: for each class a,
+//
+//	q_a = U_a h          (k factor units over the concatenated views)
+//	b_a = w_a^T [h; 1]
+//	y_a = sum(q_a ⊙ q_a) + b_a
+//
+// modeling explicit second-order interactions between all input units.
+type FactorizationMachine struct {
+	numViews, viewDim, factors, classes int
+
+	// u[a] is k x d, w[a] is 1 x (d+1).
+	u []*nn.Param
+	w []*nn.Param
+
+	// caches from the last Forward
+	h  *tensor.Matrix   // 1 x d
+	qa []*tensor.Matrix // per class, k x 1 stored as 1 x k
+}
+
+var _ Layer = (*FactorizationMachine)(nil)
+
+// NewFactorizationMachine builds the Eq. 3 head with k factor units.
+func NewFactorizationMachine(rng *rand.Rand, numViews, viewDim, factors, classes int) *FactorizationMachine {
+	d := numViews * viewDim
+	fm := &FactorizationMachine{
+		numViews: numViews,
+		viewDim:  viewDim,
+		factors:  factors,
+		classes:  classes,
+		u:        make([]*nn.Param, classes),
+		w:        make([]*nn.Param, classes),
+	}
+	for a := 0; a < classes; a++ {
+		fm.u[a] = nn.NewParam("fm_u", tensor.RandNormal(rng, factors, d, 0, 0.05))
+		fm.w[a] = nn.NewParam("fm_w", tensor.RandNormal(rng, 1, d+1, 0, 0.05))
+	}
+	return fm
+}
+
+// Name implements Layer.
+func (f *FactorizationMachine) Name() string { return "FM" }
+
+// Forward implements Layer.
+func (f *FactorizationMachine) Forward(views []*tensor.Matrix) (*tensor.Matrix, error) {
+	if err := checkViews(views, f.numViews, f.viewDim); err != nil {
+		return nil, err
+	}
+	h, err := tensor.HStack(views...)
+	if err != nil {
+		return nil, err
+	}
+	f.h = h
+	f.qa = f.qa[:0]
+	out := tensor.New(1, f.classes)
+	for a := 0; a < f.classes; a++ {
+		// q_a = U_a h^T computed as h @ U_a^T -> 1 x k
+		qa, err := tensor.MatMulT(h, f.u[a].Value)
+		if err != nil {
+			return nil, err
+		}
+		f.qa = append(f.qa, qa)
+		var quad float64
+		for _, v := range qa.Data() {
+			quad += v * v
+		}
+		// b_a = w_a . [h; 1]
+		wRow := f.w[a].Value.Row(0)
+		bias := wRow[len(wRow)-1]
+		for j, v := range h.Row(0) {
+			bias += wRow[j] * v
+		}
+		out.Set(0, a, quad+bias)
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (f *FactorizationMachine) Backward(grad *tensor.Matrix) ([]*tensor.Matrix, error) {
+	if f.h == nil {
+		return nil, nn.ErrNotReady
+	}
+	d := f.numViews * f.viewDim
+	dh := tensor.New(1, d)
+	for a := 0; a < f.classes; a++ {
+		g := grad.At(0, a)
+		if g == 0 {
+			continue
+		}
+		qa := f.qa[a].Row(0)
+		// dU_a = 2 g q_a h (outer product, k x d)
+		du := f.u[a].Grad
+		for i := 0; i < f.factors; i++ {
+			coef := 2 * g * qa[i]
+			row := du.Row(i)
+			for j, hv := range f.h.Row(0) {
+				row[j] += coef * hv
+			}
+		}
+		// dw_a = g [h; 1]
+		dw := f.w[a].Grad.Row(0)
+		for j, hv := range f.h.Row(0) {
+			dw[j] += g * hv
+		}
+		dw[d] += g
+		// dh += 2 g U_a^T q_a + g w_a[:d]
+		dhRow := dh.Row(0)
+		uv := f.u[a].Value
+		for i := 0; i < f.factors; i++ {
+			coef := 2 * g * qa[i]
+			for j := 0; j < d; j++ {
+				dhRow[j] += coef * uv.At(i, j)
+			}
+		}
+		wRow := f.w[a].Value.Row(0)
+		for j := 0; j < d; j++ {
+			dhRow[j] += g * wRow[j]
+		}
+	}
+	grads := make([]*tensor.Matrix, f.numViews)
+	for p := 0; p < f.numViews; p++ {
+		g, err := dh.SliceCols(p*f.viewDim, (p+1)*f.viewDim)
+		if err != nil {
+			return nil, err
+		}
+		grads[p] = g
+	}
+	return grads, nil
+}
+
+// Params implements Layer.
+func (f *FactorizationMachine) Params() []*nn.Param {
+	ps := make([]*nn.Param, 0, 2*f.classes)
+	ps = append(ps, f.u...)
+	ps = append(ps, f.w...)
+	return ps
+}
+
+// MultiviewMachine implements Eq. 4: for each class a and view p,
+//
+//	q_a^(p) = U_a^(p) [h^(p); 1]
+//	y_a = sum(q_a^(1) ⊙ ... ⊙ q_a^(m))
+//
+// capturing all feature interactions up to order m across the m views,
+// equivalent to Multi-view Machines [43].
+type MultiviewMachine struct {
+	numViews, viewDim, factors, classes int
+
+	// u[a][p] is k x (dh+1).
+	u [][]*nn.Param
+
+	hb []*tensor.Matrix   // cached [h^(p); 1], 1 x (dh+1)
+	qa [][]*tensor.Matrix // cached q_a^(p), 1 x k
+}
+
+var _ Layer = (*MultiviewMachine)(nil)
+
+// NewMultiviewMachine builds the Eq. 4 head with k factor units.
+func NewMultiviewMachine(rng *rand.Rand, numViews, viewDim, factors, classes int) *MultiviewMachine {
+	mv := &MultiviewMachine{
+		numViews: numViews,
+		viewDim:  viewDim,
+		factors:  factors,
+		classes:  classes,
+		u:        make([][]*nn.Param, classes),
+	}
+	for a := 0; a < classes; a++ {
+		mv.u[a] = make([]*nn.Param, numViews)
+		for p := 0; p < numViews; p++ {
+			mv.u[a][p] = nn.NewParam("mvm_u", tensor.RandNormal(rng, factors, viewDim+1, 0, 0.1))
+		}
+	}
+	return mv
+}
+
+// Name implements Layer.
+func (m *MultiviewMachine) Name() string { return "MVM" }
+
+// Forward implements Layer.
+func (m *MultiviewMachine) Forward(views []*tensor.Matrix) (*tensor.Matrix, error) {
+	if err := checkViews(views, m.numViews, m.viewDim); err != nil {
+		return nil, err
+	}
+	m.hb = m.hb[:0]
+	for _, v := range views {
+		hb := tensor.New(1, m.viewDim+1)
+		copy(hb.Row(0), v.Row(0))
+		hb.Set(0, m.viewDim, 1)
+		m.hb = append(m.hb, hb)
+	}
+	m.qa = m.qa[:0]
+	out := tensor.New(1, m.classes)
+	for a := 0; a < m.classes; a++ {
+		qs := make([]*tensor.Matrix, m.numViews)
+		prod := tensor.New(1, m.factors)
+		prod.Fill(1)
+		for p := 0; p < m.numViews; p++ {
+			q, err := tensor.MatMulT(m.hb[p], m.u[a][p].Value)
+			if err != nil {
+				return nil, err
+			}
+			qs[p] = q
+			pd := prod.Data()
+			for i, v := range q.Row(0) {
+				pd[i] *= v
+			}
+		}
+		m.qa = append(m.qa, qs)
+		out.Set(0, a, prod.Sum())
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (m *MultiviewMachine) Backward(grad *tensor.Matrix) ([]*tensor.Matrix, error) {
+	if len(m.hb) == 0 {
+		return nil, nn.ErrNotReady
+	}
+	grads := make([]*tensor.Matrix, m.numViews)
+	for p := range grads {
+		grads[p] = tensor.New(1, m.viewDim)
+	}
+	for a := 0; a < m.classes; a++ {
+		g := grad.At(0, a)
+		if g == 0 {
+			continue
+		}
+		qs := m.qa[a]
+		for p := 0; p < m.numViews; p++ {
+			// dq_a^(p)[i] = g * prod_{r != p} q_a^(r)[i]
+			dq := make([]float64, m.factors)
+			for i := range dq {
+				prod := g
+				for r := 0; r < m.numViews; r++ {
+					if r == p {
+						continue
+					}
+					prod *= qs[r].At(0, i)
+				}
+				dq[i] = prod
+			}
+			// dU_a^(p) += dq ⊗ [h^(p); 1]
+			du := m.u[a][p].Grad
+			hb := m.hb[p].Row(0)
+			for i := 0; i < m.factors; i++ {
+				row := du.Row(i)
+				for j, hv := range hb {
+					row[j] += dq[i] * hv
+				}
+			}
+			// dh^(p) += U_a^(p)[:, :dh]^T dq
+			uv := m.u[a][p].Value
+			dst := grads[p].Row(0)
+			for i := 0; i < m.factors; i++ {
+				for j := 0; j < m.viewDim; j++ {
+					dst[j] += dq[i] * uv.At(i, j)
+				}
+			}
+		}
+	}
+	return grads, nil
+}
+
+// Params implements Layer.
+func (m *MultiviewMachine) Params() []*nn.Param {
+	var ps []*nn.Param
+	for a := range m.u {
+		ps = append(ps, m.u[a]...)
+	}
+	return ps
+}

@@ -1,0 +1,122 @@
+// Package fusion implements the three multi-view fusion layers of DeepMood
+// (Section IV-A, Eqs. 2-4): a fully connected layer over concatenated view
+// embeddings, a Factorization Machine layer modeling second-order feature
+// interactions, and a Multi-view Machine layer modeling full mth-order
+// interactions across views.
+//
+// Each layer maps m view embeddings h^(p) (1 x dh row vectors) to class
+// scores (1 x classes) and backpropagates to both its parameters and the
+// per-view inputs.
+package fusion
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"mobiledl/internal/nn"
+	"mobiledl/internal/tensor"
+)
+
+// ErrViews reports a view-count or view-shape mismatch.
+var ErrViews = errors.New("fusion: view mismatch")
+
+// Layer is a multi-view fusion head.
+type Layer interface {
+	// Forward maps per-view embeddings to class logits (1 x classes).
+	Forward(views []*tensor.Matrix) (*tensor.Matrix, error)
+	// Backward consumes dLoss/dLogits and returns dLoss/dView per view,
+	// accumulating parameter gradients.
+	Backward(grad *tensor.Matrix) ([]*tensor.Matrix, error)
+	// Params returns trainable parameters.
+	Params() []*nn.Param
+	// Name identifies the fusion variant in experiment tables.
+	Name() string
+}
+
+func checkViews(views []*tensor.Matrix, numViews, viewDim int) error {
+	if len(views) != numViews {
+		return fmt.Errorf("%w: got %d views, want %d", ErrViews, len(views), numViews)
+	}
+	for p, v := range views {
+		if v.Rows() != 1 || v.Cols() != viewDim {
+			return fmt.Errorf("%w: view %d is %dx%d, want 1x%d", ErrViews, p, v.Rows(), v.Cols(), viewDim)
+		}
+	}
+	return nil
+}
+
+// FullyConnected implements Eq. 2: concatenate views, apply a ReLU hidden
+// layer with bias, then a linear output layer.
+type FullyConnected struct {
+	numViews, viewDim int
+	hidden            *nn.Dense
+	act               *nn.Activation
+	out               *nn.Dense
+}
+
+var _ Layer = (*FullyConnected)(nil)
+
+// NewFullyConnected builds the Eq. 2 head with k' hidden units.
+func NewFullyConnected(rng *rand.Rand, numViews, viewDim, hiddenUnits, classes int) *FullyConnected {
+	return &FullyConnected{
+		numViews: numViews,
+		viewDim:  viewDim,
+		hidden:   nn.NewDense(rng, numViews*viewDim, hiddenUnits),
+		act:      nn.NewReLU(),
+		out:      nn.NewDense(rng, hiddenUnits, classes),
+	}
+}
+
+// Name implements Layer.
+func (f *FullyConnected) Name() string { return "FC" }
+
+// Forward implements Layer.
+func (f *FullyConnected) Forward(views []*tensor.Matrix) (*tensor.Matrix, error) {
+	if err := checkViews(views, f.numViews, f.viewDim); err != nil {
+		return nil, err
+	}
+	h, err := tensor.HStack(views...)
+	if err != nil {
+		return nil, err
+	}
+	q, err := f.hidden.Forward(h, true)
+	if err != nil {
+		return nil, err
+	}
+	q, err = f.act.Forward(q, true)
+	if err != nil {
+		return nil, err
+	}
+	return f.out.Forward(q, true)
+}
+
+// Backward implements Layer.
+func (f *FullyConnected) Backward(grad *tensor.Matrix) ([]*tensor.Matrix, error) {
+	dq, err := f.out.Backward(grad)
+	if err != nil {
+		return nil, err
+	}
+	dq, err = f.act.Backward(dq)
+	if err != nil {
+		return nil, err
+	}
+	dh, err := f.hidden.Backward(dq)
+	if err != nil {
+		return nil, err
+	}
+	grads := make([]*tensor.Matrix, f.numViews)
+	for p := 0; p < f.numViews; p++ {
+		g, err := dh.SliceCols(p*f.viewDim, (p+1)*f.viewDim)
+		if err != nil {
+			return nil, err
+		}
+		grads[p] = g
+	}
+	return grads, nil
+}
+
+// Params implements Layer.
+func (f *FullyConnected) Params() []*nn.Param {
+	return append(f.hidden.Params(), f.out.Params()...)
+}

@@ -1,0 +1,153 @@
+// Package mobile simulates the execution environment of Section III: mobile
+// devices with bounded compute, memory and battery, cloud servers, and the
+// wireless networks between them. It provides the latency/energy cost model
+// used to compare inference on the cloud server (Fig. 2), inference on the
+// local device, and split inference (Fig. 3).
+//
+// The paper has no hardware testbed we can reuse, so the model is
+// parameterized with public figures (per-MAC energy on mobile SoCs, radio
+// J/byte, WiFi/LTE bandwidth and RTT); see DESIGN.md. The absolute numbers
+// are indicative — the experiments depend on the *orderings* (e.g. deep
+// models favor offloading on fast networks; offline forces local).
+package mobile
+
+import (
+	"errors"
+	"fmt"
+
+	"mobiledl/internal/nn"
+)
+
+// ErrInfeasible is wrapped into plan costs whose placement cannot run at all
+// (e.g. cloud inference while offline).
+var ErrInfeasible = errors.New("mobile: placement infeasible")
+
+// NetworkKind labels a connectivity state.
+type NetworkKind int
+
+// Connectivity states.
+const (
+	Offline NetworkKind = iota + 1
+	WiFi
+	LTE
+)
+
+func (k NetworkKind) String() string {
+	switch k {
+	case Offline:
+		return "offline"
+	case WiFi:
+		return "wifi"
+	case LTE:
+		return "lte"
+	default:
+		return fmt.Sprintf("network(%d)", int(k))
+	}
+}
+
+// Network models a wireless link between device and cloud.
+type Network struct {
+	Kind         NetworkKind
+	UplinkMbps   float64
+	DownlinkMbps float64
+	RTTMillis    float64
+	// Radio energy drawn by the device per transferred byte (J/byte).
+	EnergyPerByteJ float64
+}
+
+// Standard network presets (public LTE/WiFi measurement ballpark figures).
+func WiFiNetwork() Network {
+	return Network{Kind: WiFi, UplinkMbps: 40, DownlinkMbps: 80, RTTMillis: 10, EnergyPerByteJ: 1e-7}
+}
+
+// LTENetwork returns a cellular link: slower, higher RTT, ~6x the radio
+// energy per byte of WiFi.
+func LTENetwork() Network {
+	return Network{Kind: LTE, UplinkMbps: 8, DownlinkMbps: 25, RTTMillis: 50, EnergyPerByteJ: 6e-7}
+}
+
+// OfflineNetwork returns a disconnected state.
+func OfflineNetwork() Network { return Network{Kind: Offline} }
+
+// Connected reports whether any traffic can flow.
+func (n Network) Connected() bool { return n.Kind != Offline }
+
+// TransferMillis returns the one-way latency to move b bytes up or down.
+func (n Network) TransferMillis(b int64, up bool) (float64, error) {
+	if !n.Connected() {
+		return 0, fmt.Errorf("%w: network offline", ErrInfeasible)
+	}
+	mbps := n.DownlinkMbps
+	if up {
+		mbps = n.UplinkMbps
+	}
+	if mbps <= 0 {
+		return 0, fmt.Errorf("%w: zero bandwidth", ErrInfeasible)
+	}
+	seconds := float64(b) * 8 / (mbps * 1e6)
+	return seconds*1000 + n.RTTMillis/2, nil
+}
+
+// TransferEnergyJ returns the device-side radio energy for b bytes.
+func (n Network) TransferEnergyJ(b int64) float64 {
+	return float64(b) * n.EnergyPerByteJ
+}
+
+// Device models a compute node (phone or cloud server).
+type Device struct {
+	Name string
+	// MACsPerSec is effective multiply-accumulate throughput.
+	MACsPerSec float64
+	// EnergyPerMACJ is the energy per multiply-accumulate (0 for
+	// wall-powered cloud machines, whose energy we do not bill to the
+	// device battery).
+	EnergyPerMACJ float64
+	// MemoryBytes bounds the model size the device can hold.
+	MemoryBytes int64
+	// BatteryJ is the usable battery budget (0 = unlimited / wall power).
+	BatteryJ float64
+}
+
+// Device presets. Mobile per-MAC energy follows the "off-chip memory
+// dominated" figure the paper cites ([13, 14]): ~10 pJ/MAC effective.
+func MidrangePhone() Device {
+	return Device{Name: "midrange-phone", MACsPerSec: 2e9, EnergyPerMACJ: 2e-11, MemoryBytes: 512 << 20, BatteryJ: 4e4}
+}
+
+// FlagshipPhone returns a faster, more efficient handset.
+func FlagshipPhone() Device {
+	return Device{Name: "flagship-phone", MACsPerSec: 1e10, EnergyPerMACJ: 1e-11, MemoryBytes: 2 << 30, BatteryJ: 5e4}
+}
+
+// CloudServer returns a wall-powered accelerator-class server.
+func CloudServer() Device {
+	return Device{Name: "cloud-server", MACsPerSec: 5e12, EnergyPerMACJ: 0, MemoryBytes: 256 << 30}
+}
+
+// ComputeMillis returns the latency of macs multiply-accumulates.
+func (d Device) ComputeMillis(macs float64) float64 {
+	if d.MACsPerSec <= 0 {
+		return 0
+	}
+	return macs / d.MACsPerSec * 1000
+}
+
+// ComputeEnergyJ returns the battery energy of macs multiply-accumulates.
+func (d Device) ComputeEnergyJ(macs float64) float64 { return macs * d.EnergyPerMACJ }
+
+// ModelMACs counts per-sample multiply-accumulates of a Sequential model
+// (dense layers only; activations are negligible).
+func ModelMACs(model *nn.Sequential) float64 {
+	var macs float64
+	for _, l := range model.Layers() {
+		if d, ok := l.(*nn.Dense); ok {
+			macs += float64(d.In()) * float64(d.Out())
+		}
+	}
+	return macs
+}
+
+// ModelBytes returns the float64 storage cost of all parameters.
+func ModelBytes(model *nn.Sequential) int64 {
+	return int64(nn.NumParams(model.Params())) * 8
+}

@@ -1,0 +1,168 @@
+package mobile
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mobiledl/internal/nn"
+)
+
+func testWorkload(totalMACs float64) Workload {
+	return Workload{
+		TotalMACs:    totalMACs,
+		LocalMACs:    totalMACs * 0.05,
+		ModelBytes:   50 << 20,
+		InputBytes:   600 << 10, // 600 KB image
+		PayloadBytes: 64 << 10,  // 64 KB representation
+		OutputBytes:  1 << 10,
+	}
+}
+
+func TestNetworkTransfer(t *testing.T) {
+	wifi := WiFiNetwork()
+	ms, err := wifi.TransferMillis(1<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms <= 0 {
+		t.Fatalf("transfer latency %v", ms)
+	}
+	lte := LTENetwork()
+	lteMs, err := lte.TransferMillis(1<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lteMs <= ms {
+		t.Fatal("LTE upload should be slower than WiFi")
+	}
+	if lte.TransferEnergyJ(1<<20) <= wifi.TransferEnergyJ(1<<20) {
+		t.Fatal("LTE should cost more radio energy than WiFi")
+	}
+	if _, err := OfflineNetwork().TransferMillis(1, true); err == nil {
+		t.Fatal("offline transfer must fail")
+	}
+}
+
+func TestDeviceCompute(t *testing.T) {
+	phone := MidrangePhone()
+	cloud := CloudServer()
+	macs := 1e9
+	if phone.ComputeMillis(macs) <= cloud.ComputeMillis(macs) {
+		t.Fatal("phone must be slower than cloud")
+	}
+	if phone.ComputeEnergyJ(macs) <= 0 {
+		t.Fatal("phone compute must cost battery")
+	}
+	if cloud.ComputeEnergyJ(macs) != 0 {
+		t.Fatal("cloud compute must not bill the device battery")
+	}
+}
+
+func TestModelAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := nn.NewSequential(nn.NewDense(rng, 10, 20), nn.NewReLU(), nn.NewDense(rng, 20, 5))
+	if got := ModelMACs(m); got != 10*20+20*5 {
+		t.Fatalf("ModelMACs %v", got)
+	}
+	// params: 200+20+100+5 = 325 -> 2600 bytes
+	if got := ModelBytes(m); got != 325*8 {
+		t.Fatalf("ModelBytes %v", got)
+	}
+}
+
+func TestLocalInfeasibleWhenModelTooBig(t *testing.T) {
+	phone := MidrangePhone()
+	w := testWorkload(1e9)
+	w.ModelBytes = phone.MemoryBytes + 1
+	cost := EvaluateLocal(phone, w)
+	if cost.Feasible {
+		t.Fatal("oversized model must be infeasible locally")
+	}
+	if !strings.Contains(cost.Reason, "memory") {
+		t.Fatalf("reason %q", cost.Reason)
+	}
+}
+
+func TestCloudInfeasibleOffline(t *testing.T) {
+	cost := EvaluateCloud(MidrangePhone(), CloudServer(), OfflineNetwork(), testWorkload(1e9))
+	if cost.Feasible {
+		t.Fatal("cloud inference offline must be infeasible")
+	}
+	split := EvaluateSplit(MidrangePhone(), CloudServer(), OfflineNetwork(), testWorkload(1e9))
+	if split.Feasible {
+		t.Fatal("split inference offline must be infeasible")
+	}
+}
+
+func TestDeepModelFavorsOffloadOnWiFi(t *testing.T) {
+	// A very deep model on a midrange phone over WiFi: cloud/split should
+	// beat local on latency — the paper's motivation for Fig. 2.
+	phone := MidrangePhone()
+	cloud := CloudServer()
+	w := testWorkload(5e9) // 5 GMACs, ~2.5 s on the phone
+	local := EvaluateLocal(phone, w)
+	remote := EvaluateCloud(phone, cloud, WiFiNetwork(), w)
+	if !remote.Feasible {
+		t.Fatal(remote.Reason)
+	}
+	if remote.LatencyMs >= local.LatencyMs {
+		t.Fatalf("cloud (%v ms) should beat local (%v ms) for deep models on WiFi",
+			remote.LatencyMs, local.LatencyMs)
+	}
+}
+
+func TestTinyModelFavorsLocal(t *testing.T) {
+	phone := FlagshipPhone()
+	cloud := CloudServer()
+	w := testWorkload(1e6) // 1 MMAC: 0.1 ms on the phone
+	local := EvaluateLocal(phone, w)
+	remote := EvaluateCloud(phone, cloud, LTENetwork(), w)
+	if local.LatencyMs >= remote.LatencyMs {
+		t.Fatalf("local (%v ms) should beat cloud (%v ms) for tiny models on LTE",
+			local.LatencyMs, remote.LatencyMs)
+	}
+}
+
+func TestSplitReducesUploadVersusCloud(t *testing.T) {
+	phone := MidrangePhone()
+	cloud := CloudServer()
+	w := testWorkload(5e9)
+	c := EvaluateCloud(phone, cloud, LTENetwork(), w)
+	s := EvaluateSplit(phone, cloud, LTENetwork(), w)
+	if !c.Feasible || !s.Feasible {
+		t.Fatal("both placements should be feasible on LTE")
+	}
+	if s.UpBytes >= c.UpBytes {
+		t.Fatal("split must upload less than raw-input cloud inference")
+	}
+	if s.EnergyJ >= c.EnergyJ {
+		t.Fatalf("split energy %v should beat cloud energy %v on LTE (smaller payload)",
+			s.EnergyJ, c.EnergyJ)
+	}
+}
+
+func TestComparePlacementsOrdering(t *testing.T) {
+	plans := ComparePlacements(MidrangePhone(), CloudServer(), OfflineNetwork(), testWorkload(1e9))
+	if len(plans) != 3 {
+		t.Fatalf("got %d plans", len(plans))
+	}
+	if !plans[0].Feasible || plans[0].Placement != PlaceLocal {
+		t.Fatalf("offline best plan should be local, got %v (feasible=%v)",
+			plans[0].Placement, plans[0].Feasible)
+	}
+	for i := 1; i < len(plans); i++ {
+		if plans[i].Feasible && !plans[i-1].Feasible {
+			t.Fatal("feasible plans must sort before infeasible ones")
+		}
+	}
+}
+
+func TestPlacementStrings(t *testing.T) {
+	if PlaceLocal.String() != "local" || PlaceCloud.String() != "cloud" || PlaceSplit.String() != "split" {
+		t.Fatal("placement names wrong")
+	}
+	if WiFi.String() != "wifi" || Offline.String() != "offline" || LTE.String() != "lte" {
+		t.Fatal("network names wrong")
+	}
+}

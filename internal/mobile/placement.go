@@ -1,0 +1,149 @@
+package mobile
+
+import (
+	"fmt"
+)
+
+// Placement is an inference execution strategy (Section III).
+type Placement int
+
+// Placements compared by the paper: cloud (Fig. 2), local, split (Fig. 3).
+const (
+	PlaceLocal Placement = iota + 1
+	PlaceCloud
+	PlaceSplit
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlaceLocal:
+		return "local"
+	case PlaceCloud:
+		return "cloud"
+	case PlaceSplit:
+		return "split"
+	default:
+		return fmt.Sprintf("placement(%d)", int(p))
+	}
+}
+
+// PlanCost is the estimated cost of running one inference under a placement.
+type PlanCost struct {
+	Placement Placement
+	LatencyMs float64
+	// EnergyJ is device-side (battery) energy only.
+	EnergyJ   float64
+	UpBytes   int64
+	DownBytes int64
+	Feasible  bool
+	// Reason explains infeasibility.
+	Reason string
+}
+
+// Workload describes one inference request for planning purposes.
+type Workload struct {
+	// TotalMACs is the full model's per-sample compute.
+	TotalMACs float64
+	// LocalMACs is the device-side share under the split placement.
+	LocalMACs float64
+	// ModelBytes is the full model size (for local memory feasibility).
+	ModelBytes int64
+	// InputBytes is the raw input payload (cloud placement uploads this).
+	InputBytes int64
+	// PayloadBytes is the transformed-representation payload uploaded under
+	// the split placement (smaller than InputBytes per [30]).
+	PayloadBytes int64
+	// OutputBytes is the result payload downloaded from the cloud.
+	OutputBytes int64
+}
+
+// EvaluateLocal costs on-device inference: no traffic, full compute and
+// model residency on the device.
+func EvaluateLocal(device Device, w Workload) PlanCost {
+	cost := PlanCost{Placement: PlaceLocal, Feasible: true}
+	if device.MemoryBytes > 0 && w.ModelBytes > device.MemoryBytes {
+		return PlanCost{Placement: PlaceLocal, Feasible: false,
+			Reason: fmt.Sprintf("model %d B exceeds device memory %d B", w.ModelBytes, device.MemoryBytes)}
+	}
+	cost.LatencyMs = device.ComputeMillis(w.TotalMACs)
+	cost.EnergyJ = device.ComputeEnergyJ(w.TotalMACs)
+	return cost
+}
+
+// EvaluateCloud costs cloud inference (Fig. 2): upload raw input, compute on
+// the server, download the result.
+func EvaluateCloud(device Device, cloud Device, net Network, w Workload) PlanCost {
+	cost := PlanCost{Placement: PlaceCloud}
+	upMs, err := net.TransferMillis(w.InputBytes, true)
+	if err != nil {
+		cost.Reason = err.Error()
+		return cost
+	}
+	downMs, err := net.TransferMillis(w.OutputBytes, false)
+	if err != nil {
+		cost.Reason = err.Error()
+		return cost
+	}
+	cost.Feasible = true
+	cost.LatencyMs = upMs + cloud.ComputeMillis(w.TotalMACs) + downMs
+	cost.EnergyJ = net.TransferEnergyJ(w.InputBytes + w.OutputBytes)
+	cost.UpBytes = w.InputBytes
+	cost.DownBytes = w.OutputBytes
+	_ = device
+	return cost
+}
+
+// EvaluateSplit costs the paper's cloud-based split solution (Fig. 3): the
+// shallow local network runs on the device, the transformed (and perturbed)
+// representation is uploaded, the deep remainder runs on the cloud.
+func EvaluateSplit(device Device, cloud Device, net Network, w Workload) PlanCost {
+	cost := PlanCost{Placement: PlaceSplit}
+	upMs, err := net.TransferMillis(w.PayloadBytes, true)
+	if err != nil {
+		cost.Reason = err.Error()
+		return cost
+	}
+	downMs, err := net.TransferMillis(w.OutputBytes, false)
+	if err != nil {
+		cost.Reason = err.Error()
+		return cost
+	}
+	cloudMACs := w.TotalMACs - w.LocalMACs
+	if cloudMACs < 0 {
+		cloudMACs = 0
+	}
+	cost.Feasible = true
+	cost.LatencyMs = device.ComputeMillis(w.LocalMACs) + upMs + cloud.ComputeMillis(cloudMACs) + downMs
+	cost.EnergyJ = device.ComputeEnergyJ(w.LocalMACs) + net.TransferEnergyJ(w.PayloadBytes+w.OutputBytes)
+	cost.UpBytes = w.PayloadBytes
+	cost.DownBytes = w.OutputBytes
+	return cost
+}
+
+// ComparePlacements evaluates all three placements and returns them with
+// the lowest-latency feasible plan first.
+func ComparePlacements(device Device, cloud Device, net Network, w Workload) []PlanCost {
+	plans := []PlanCost{
+		EvaluateLocal(device, w),
+		EvaluateCloud(device, cloud, net, w),
+		EvaluateSplit(device, cloud, net, w),
+	}
+	// Selection sort by (feasible desc, latency asc); 3 items.
+	for i := 0; i < len(plans); i++ {
+		best := i
+		for j := i + 1; j < len(plans); j++ {
+			if better(plans[j], plans[best]) {
+				best = j
+			}
+		}
+		plans[i], plans[best] = plans[best], plans[i]
+	}
+	return plans
+}
+
+func better(a, b PlanCost) bool {
+	if a.Feasible != b.Feasible {
+		return a.Feasible
+	}
+	return a.LatencyMs < b.LatencyMs
+}

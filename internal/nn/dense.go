@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mobiledl/internal/tensor"
+)
+
+// Dense is a fully connected layer computing y = xW + b.
+type Dense struct {
+	w, b *Param
+	x    *tensor.Matrix // cached input from the last Forward
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense creates a dense layer with Glorot-uniform weights and zero bias.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	return &Dense{
+		w: NewParam(fmt.Sprintf("dense_w_%dx%d", in, out), tensor.GlorotUniform(rng, in, out)),
+		b: NewParam(fmt.Sprintf("dense_b_%d", out), tensor.New(1, out)),
+	}
+}
+
+// NewDenseFrom builds a dense layer from existing weight and bias matrices,
+// used by the compression package to reconstruct factorized models.
+func NewDenseFrom(w, b *tensor.Matrix) (*Dense, error) {
+	if b.Rows() != 1 || b.Cols() != w.Cols() {
+		return nil, fmt.Errorf("%w: dense bias %dx%d for weights %dx%d",
+			tensor.ErrShape, b.Rows(), b.Cols(), w.Rows(), w.Cols())
+	}
+	return &Dense{w: NewParam("dense_w", w), b: NewParam("dense_b", b)}, nil
+}
+
+// In returns the input dimension.
+func (d *Dense) In() int { return d.w.Value.Rows() }
+
+// Out returns the output dimension.
+func (d *Dense) Out() int { return d.w.Value.Cols() }
+
+// Weights returns the weight parameter (in x out).
+func (d *Dense) Weights() *Param { return d.w }
+
+// Bias returns the bias parameter (1 x out).
+func (d *Dense) Bias() *Param { return d.b }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Matrix, _ bool) (*tensor.Matrix, error) {
+	y, err := tensor.MatMul(x, d.w.Value)
+	if err != nil {
+		return nil, fmt.Errorf("dense forward: %w", err)
+	}
+	y, err = tensor.AddRowVector(y, d.b.Value)
+	if err != nil {
+		return nil, fmt.Errorf("dense forward bias: %w", err)
+	}
+	d.x = x
+	return y, nil
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error) {
+	if d.x == nil {
+		return nil, ErrNotReady
+	}
+	dw, err := tensor.TMatMul(d.x, gradOut)
+	if err != nil {
+		return nil, fmt.Errorf("dense backward dW: %w", err)
+	}
+	if err := d.w.AccumulateGrad(dw); err != nil {
+		return nil, err
+	}
+	if err := d.b.AccumulateGrad(tensor.SumRows(gradOut)); err != nil {
+		return nil, err
+	}
+	dx, err := tensor.MatMulT(gradOut, d.w.Value)
+	if err != nil {
+		return nil, fmt.Errorf("dense backward dX: %w", err)
+	}
+	return dx, nil
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }

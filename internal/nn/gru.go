@@ -1,0 +1,324 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mobiledl/internal/tensor"
+)
+
+// GRU is a gated recurrent unit layer implementing Eq. (1) of the paper
+// (Cho et al. [41]), processing one sequence at a time:
+//
+//	r_k = sigmoid(Wr x_k + Ur h_{k-1} + br)
+//	z_k = sigmoid(Wz x_k + Uz h_{k-1} + bz)
+//	h~_k = tanh(W x_k + U (r_k ⊙ h_{k-1}) + bh)
+//	h_k = z_k ⊙ h_{k-1} + (1 - z_k) ⊙ h~_k
+//
+// Forward caches per-step activations; BackwardLast runs full
+// backpropagation through time from a gradient on the final hidden state,
+// which is the only state DeepMood/DEEPSERVICE consume.
+type GRU struct {
+	inDim, hidden int
+
+	wr, ur, br *Param
+	wz, uz, bz *Param
+	wh, uh, bh *Param
+
+	steps []gruStep
+}
+
+type gruStep struct {
+	x, hPrev, r, z, hCand, h *tensor.Matrix
+}
+
+// NewGRU creates a GRU with Glorot-initialized kernels and zero biases.
+func NewGRU(rng *rand.Rand, inDim, hidden int) *GRU {
+	newKernel := func(name string, rows int) *Param {
+		return NewParam(name, tensor.GlorotUniform(rng, rows, hidden))
+	}
+	newBias := func(name string) *Param {
+		return NewParam(name, tensor.New(1, hidden))
+	}
+	return &GRU{
+		inDim:  inDim,
+		hidden: hidden,
+		wr:     newKernel("gru_wr", inDim), ur: newKernel("gru_ur", hidden), br: newBias("gru_br"),
+		wz: newKernel("gru_wz", inDim), uz: newKernel("gru_uz", hidden), bz: newBias("gru_bz"),
+		wh: newKernel("gru_wh", inDim), uh: newKernel("gru_uh", hidden), bh: newBias("gru_bh"),
+	}
+}
+
+// InDim returns the input feature dimension.
+func (g *GRU) InDim() int { return g.inDim }
+
+// Hidden returns the hidden-state dimension.
+func (g *GRU) Hidden() int { return g.hidden }
+
+// Params returns all nine trainable parameter matrices.
+func (g *GRU) Params() []*Param {
+	return []*Param{g.wr, g.ur, g.br, g.wz, g.uz, g.bz, g.wh, g.uh, g.bh}
+}
+
+// gate computes sigmoid_or_tanh(x@Wx + h@Wh + b) for a single step.
+func (g *GRU) gate(x, h *tensor.Matrix, wx, wh, b *Param, act func(float64) float64) (*tensor.Matrix, error) {
+	xa, err := tensor.MatMul(x, wx.Value)
+	if err != nil {
+		return nil, err
+	}
+	ha, err := tensor.MatMul(h, wh.Value)
+	if err != nil {
+		return nil, err
+	}
+	if err := tensor.AddInPlace(xa, ha); err != nil {
+		return nil, err
+	}
+	out, err := tensor.AddRowVector(xa, b.Value)
+	if err != nil {
+		return nil, err
+	}
+	out.ApplyInPlace(act)
+	return out, nil
+}
+
+// ForwardSeq consumes a T x inDim sequence and returns the final hidden
+// state (1 x hidden). The per-step cache is retained for BackwardLast.
+func (g *GRU) ForwardSeq(seq *tensor.Matrix) (*tensor.Matrix, error) {
+	if seq.Cols() != g.inDim {
+		return nil, fmt.Errorf("%w: GRU input dim %d, want %d", tensor.ErrShape, seq.Cols(), g.inDim)
+	}
+	if seq.Rows() == 0 {
+		return nil, fmt.Errorf("%w: GRU empty sequence", tensor.ErrShape)
+	}
+	g.steps = g.steps[:0]
+	h := tensor.New(1, g.hidden)
+	for k := 0; k < seq.Rows(); k++ {
+		x := tensor.RowVector(seq.Row(k))
+		r, err := g.gate(x, h, g.wr, g.ur, g.br, Sigmoid)
+		if err != nil {
+			return nil, fmt.Errorf("gru step %d reset gate: %w", k, err)
+		}
+		z, err := g.gate(x, h, g.wz, g.uz, g.bz, Sigmoid)
+		if err != nil {
+			return nil, fmt.Errorf("gru step %d update gate: %w", k, err)
+		}
+		rh, err := tensor.Mul(r, h)
+		if err != nil {
+			return nil, err
+		}
+		hCand, err := g.gate(x, rh, g.wh, g.uh, g.bh, math.Tanh)
+		if err != nil {
+			return nil, fmt.Errorf("gru step %d candidate: %w", k, err)
+		}
+		// h = z ⊙ hPrev + (1-z) ⊙ hCand
+		hNext := tensor.New(1, g.hidden)
+		hn, zd, hp, hc := hNext.Data(), z.Data(), h.Data(), hCand.Data()
+		for i := range hn {
+			hn[i] = zd[i]*hp[i] + (1-zd[i])*hc[i]
+		}
+		g.steps = append(g.steps, gruStep{x: x, hPrev: h, r: r, z: z, hCand: hCand, h: hNext})
+		h = hNext
+	}
+	return h.Clone(), nil
+}
+
+// BackwardLast backpropagates through time from dLast, the gradient of the
+// loss w.r.t. the final hidden state, accumulating parameter gradients.
+// It returns the gradient w.r.t. the input sequence (T x inDim).
+func (g *GRU) BackwardLast(dLast *tensor.Matrix) (*tensor.Matrix, error) {
+	if len(g.steps) == 0 {
+		return nil, ErrNotReady
+	}
+	if dLast.Rows() != 1 || dLast.Cols() != g.hidden {
+		return nil, fmt.Errorf("%w: GRU dLast %dx%d, want 1x%d",
+			tensor.ErrShape, dLast.Rows(), dLast.Cols(), g.hidden)
+	}
+	dSeq := tensor.New(len(g.steps), g.inDim)
+	dh := dLast.Clone()
+
+	for k := len(g.steps) - 1; k >= 0; k-- {
+		st := g.steps[k]
+		hid := g.hidden
+
+		dhPrev := tensor.New(1, hid)
+		daR := tensor.New(1, hid)
+		daZ := tensor.New(1, hid)
+		daH := tensor.New(1, hid)
+
+		dhd := dh.Data()
+		zd, rd := st.z.Data(), st.r.Data()
+		hpd, hcd := st.hPrev.Data(), st.hCand.Data()
+		dhp, dar, daz, dah := dhPrev.Data(), daR.Data(), daZ.Data(), daH.Data()
+
+		for i := 0; i < hid; i++ {
+			// h = z*hPrev + (1-z)*hCand
+			dz := dhd[i] * (hpd[i] - hcd[i])
+			dhc := dhd[i] * (1 - zd[i])
+			dhp[i] += dhd[i] * zd[i]
+			// candidate pre-activation: tanh'
+			dah[i] = dhc * (1 - hcd[i]*hcd[i])
+			// update gate pre-activation: sigmoid'
+			daz[i] = dz * zd[i] * (1 - zd[i])
+		}
+
+		// Candidate path: aH = x@Wh + (r ⊙ hPrev)@Uh + bh
+		dRH, err := tensor.MatMulT(daH, g.uh.Value)
+		if err != nil {
+			return nil, err
+		}
+		drh := dRH.Data()
+		for i := 0; i < hid; i++ {
+			dr := drh[i] * hpd[i]
+			dhp[i] += drh[i] * rd[i]
+			dar[i] = dr * rd[i] * (1 - rd[i])
+		}
+
+		// Accumulate parameter gradients for the three gates.
+		rh, err := tensor.Mul(st.r, st.hPrev)
+		if err != nil {
+			return nil, err
+		}
+		type gateGrad struct {
+			da     *tensor.Matrix
+			wx, wh *Param
+			b      *Param
+			hIn    *tensor.Matrix
+		}
+		for _, gg := range []gateGrad{
+			{da: daR, wx: g.wr, wh: g.ur, b: g.br, hIn: st.hPrev},
+			{da: daZ, wx: g.wz, wh: g.uz, b: g.bz, hIn: st.hPrev},
+			{da: daH, wx: g.wh, wh: g.uh, b: g.bh, hIn: rh},
+		} {
+			dwx, err := tensor.TMatMul(st.x, gg.da)
+			if err != nil {
+				return nil, err
+			}
+			if err := gg.wx.AccumulateGrad(dwx); err != nil {
+				return nil, err
+			}
+			dwh, err := tensor.TMatMul(gg.hIn, gg.da)
+			if err != nil {
+				return nil, err
+			}
+			if err := gg.wh.AccumulateGrad(dwh); err != nil {
+				return nil, err
+			}
+			if err := gg.b.AccumulateGrad(gg.da); err != nil {
+				return nil, err
+			}
+		}
+
+		// Input gradient: dx = daR@Wr^T + daZ@Wz^T + daH@Wh^T.
+		dx, err := tensor.MatMulT(daR, g.wr.Value)
+		if err != nil {
+			return nil, err
+		}
+		dxz, err := tensor.MatMulT(daZ, g.wz.Value)
+		if err != nil {
+			return nil, err
+		}
+		if err := tensor.AddInPlace(dx, dxz); err != nil {
+			return nil, err
+		}
+		dxh, err := tensor.MatMulT(daH, g.wh.Value)
+		if err != nil {
+			return nil, err
+		}
+		if err := tensor.AddInPlace(dx, dxh); err != nil {
+			return nil, err
+		}
+		copy(dSeq.Row(k), dx.Row(0))
+
+		// Hidden-state gradient flowing to step k-1 also passes through the
+		// recurrent kernels of the r and z gates.
+		dhR, err := tensor.MatMulT(daR, g.ur.Value)
+		if err != nil {
+			return nil, err
+		}
+		if err := tensor.AddInPlace(dhPrev, dhR); err != nil {
+			return nil, err
+		}
+		dhZ, err := tensor.MatMulT(daZ, g.uz.Value)
+		if err != nil {
+			return nil, err
+		}
+		if err := tensor.AddInPlace(dhPrev, dhZ); err != nil {
+			return nil, err
+		}
+		dh = dhPrev
+	}
+	return dSeq, nil
+}
+
+// BiGRU runs two independent GRUs over a sequence and its reversal and
+// concatenates their final hidden states, matching the paper's optional
+// bidirectional configuration (d = 2 * m * d_h).
+type BiGRU struct {
+	fwd, bwd *GRU
+	lastSeq  *tensor.Matrix
+}
+
+// NewBiGRU creates a bidirectional GRU pair.
+func NewBiGRU(rng *rand.Rand, inDim, hidden int) *BiGRU {
+	return &BiGRU{fwd: NewGRU(rng, inDim, hidden), bwd: NewGRU(rng, inDim, hidden)}
+}
+
+// Hidden returns the concatenated output dimension (2 x hidden).
+func (b *BiGRU) Hidden() int { return 2 * b.fwd.hidden }
+
+// Params returns the parameters of both directions.
+func (b *BiGRU) Params() []*Param { return append(b.fwd.Params(), b.bwd.Params()...) }
+
+// ForwardSeq returns the concatenation [h_fwd ; h_bwd] (1 x 2*hidden).
+func (b *BiGRU) ForwardSeq(seq *tensor.Matrix) (*tensor.Matrix, error) {
+	hf, err := b.fwd.ForwardSeq(seq)
+	if err != nil {
+		return nil, err
+	}
+	rev := reverseRows(seq)
+	hb, err := b.bwd.ForwardSeq(rev)
+	if err != nil {
+		return nil, err
+	}
+	b.lastSeq = seq
+	return tensor.HStack(hf, hb)
+}
+
+// BackwardLast splits the gradient across both directions and returns the
+// combined input-sequence gradient.
+func (b *BiGRU) BackwardLast(dLast *tensor.Matrix) (*tensor.Matrix, error) {
+	if b.lastSeq == nil {
+		return nil, ErrNotReady
+	}
+	h := b.fwd.hidden
+	df, err := dLast.SliceCols(0, h)
+	if err != nil {
+		return nil, err
+	}
+	db, err := dLast.SliceCols(h, 2*h)
+	if err != nil {
+		return nil, err
+	}
+	dSeqF, err := b.fwd.BackwardLast(df)
+	if err != nil {
+		return nil, err
+	}
+	dSeqB, err := b.bwd.BackwardLast(db)
+	if err != nil {
+		return nil, err
+	}
+	dSeqBRev := reverseRows(dSeqB)
+	if err := tensor.AddInPlace(dSeqF, dSeqBRev); err != nil {
+		return nil, err
+	}
+	return dSeqF, nil
+}
+
+func reverseRows(m *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(m.Rows(), m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		copy(out.Row(m.Rows()-1-i), m.Row(i))
+	}
+	return out
+}

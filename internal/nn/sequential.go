@@ -1,0 +1,90 @@
+package nn
+
+import (
+	"fmt"
+
+	"mobiledl/internal/tensor"
+)
+
+// Sequential chains layers; the output of layer i feeds layer i+1.
+type Sequential struct {
+	layers []Layer
+}
+
+var _ Layer = (*Sequential)(nil)
+
+// NewSequential builds a sequential container over the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{layers: layers}
+}
+
+// Layers returns the contained layers (aliasing the internal slice is
+// intentional: the compression package rewrites layers in place).
+func (s *Sequential) Layers() []Layer { return s.layers }
+
+// SetLayer replaces layer i; used by compression transforms.
+func (s *Sequential) SetLayer(i int, l Layer) error {
+	if i < 0 || i >= len(s.layers) {
+		return fmt.Errorf("nn: SetLayer index %d of %d layers", i, len(s.layers))
+	}
+	s.layers[i] = l
+	return nil
+}
+
+// Append adds layers to the end of the chain.
+func (s *Sequential) Append(layers ...Layer) { s.layers = append(s.layers, layers...) }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
+	var err error
+	for i, l := range s.layers {
+		x, err = l.Forward(x, train)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+	}
+	return x, nil
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error) {
+	var err error
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		gradOut, err = s.layers[i].Backward(gradOut)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+	}
+	return gradOut, nil
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Predict runs inference (train=false) and returns the per-row argmax class.
+func (s *Sequential) Predict(x *tensor.Matrix) ([]int, error) {
+	out, err := s.Forward(x, false)
+	if err != nil {
+		return nil, err
+	}
+	preds := make([]int, out.Rows())
+	for i := range preds {
+		preds[i] = out.ArgMaxRow(i)
+	}
+	return preds, nil
+}
+
+// PredictProba runs inference and returns row-wise softmax probabilities.
+func (s *Sequential) PredictProba(x *tensor.Matrix) (*tensor.Matrix, error) {
+	out, err := s.Forward(x, false)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.Softmax(out), nil
+}

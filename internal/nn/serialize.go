@@ -1,0 +1,55 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mobiledl/internal/tensor"
+)
+
+// weightsWire is the on-disk format of a parameter set: names are stored so
+// a mismatched architecture fails loudly at load time.
+type weightsWire struct {
+	Names  []string
+	Values []*tensor.Matrix
+}
+
+// SaveWeights serializes the parameter values (not gradients) to w with gob.
+// Architectures are code, not data: only the weights travel, and LoadWeights
+// checks that the destination model's parameter list matches.
+func SaveWeights(w io.Writer, params []*Param) error {
+	wire := weightsWire{
+		Names:  make([]string, len(params)),
+		Values: make([]*tensor.Matrix, len(params)),
+	}
+	for i, p := range params {
+		wire.Names[i] = p.Name
+		wire.Values[i] = p.Value
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("save weights: %w", err)
+	}
+	return nil
+}
+
+// LoadWeights reads weights produced by SaveWeights into params, verifying
+// parameter count, names, and shapes.
+func LoadWeights(r io.Reader, params []*Param) error {
+	var wire weightsWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return fmt.Errorf("load weights: %w", err)
+	}
+	if len(wire.Values) != len(params) {
+		return fmt.Errorf("load weights: %d stored params, model has %d", len(wire.Values), len(params))
+	}
+	for i, p := range params {
+		if wire.Names[i] != p.Name {
+			return fmt.Errorf("load weights: param %d is %q, model expects %q", i, wire.Names[i], p.Name)
+		}
+		if err := p.Value.CopyFrom(wire.Values[i]); err != nil {
+			return fmt.Errorf("load weights: param %q: %w", p.Name, err)
+		}
+	}
+	return nil
+}

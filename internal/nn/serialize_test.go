@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mobiledl/internal/tensor"
+)
+
+func TestSaveLoadWeightsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := NewSequential(NewDense(rng, 4, 6), NewTanh(), NewDense(rng, 6, 2))
+	dst := NewSequential(NewDense(rng, 4, 6), NewTanh(), NewDense(rng, 6, 2))
+
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadWeights(&buf, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range src.Params() {
+		if !dst.Params()[i].Value.Equal(p.Value, 0) {
+			t.Fatalf("param %d differs after round trip", i)
+		}
+	}
+	// The two models must now produce identical outputs.
+	x := tensor.RandNormal(rng, 3, 4, 0, 1)
+	a, err := src.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dst.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b, 0) {
+		t.Fatal("loaded model disagrees with source model")
+	}
+}
+
+func TestLoadWeightsArchitectureMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := NewSequential(NewDense(rng, 4, 6))
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong parameter count.
+	bigger := NewSequential(NewDense(rng, 4, 6), NewDense(rng, 6, 2))
+	if err := LoadWeights(bytes.NewReader(buf.Bytes()), bigger.Params()); err == nil {
+		t.Fatal("want error for parameter-count mismatch")
+	}
+
+	// Wrong shape (same count, same layer kind).
+	wrongShape := NewSequential(NewDense(rng, 4, 8))
+	err := LoadWeights(bytes.NewReader(buf.Bytes()), wrongShape.Params())
+	if err == nil {
+		t.Fatal("want error for shape mismatch")
+	}
+	if !strings.Contains(err.Error(), "param") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestLoadWeightsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	model := NewSequential(NewDense(rng, 2, 2))
+	if err := LoadWeights(bytes.NewReader([]byte("not gob")), model.Params()); err == nil {
+		t.Fatal("want error for corrupt stream")
+	}
+}

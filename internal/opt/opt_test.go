@@ -1,0 +1,170 @@
+package opt
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobiledl/internal/nn"
+	"mobiledl/internal/tensor"
+)
+
+// quadParam builds a single parameter initialized at x0 whose loss is
+// 0.5*||x||^2, i.e. grad = x. Every sane optimizer must drive it to 0.
+func quadParam(x0 float64) *nn.Param {
+	v, _ := tensor.FromSlice(1, 3, []float64{x0, -x0, x0 / 2})
+	return nn.NewParam("q", v)
+}
+
+func runQuadratic(t *testing.T, o nn.Optimizer, steps int) float64 {
+	t.Helper()
+	p := quadParam(5)
+	for i := 0; i < steps; i++ {
+		p.ZeroGrad()
+		if err := p.AccumulateGrad(p.Value); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Step([]*nn.Param{p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p.Value.FrobeniusNorm()
+}
+
+func TestOptimizersConvergeOnQuadratic(t *testing.T) {
+	tests := []struct {
+		name  string
+		o     nn.Optimizer
+		steps int
+		tol   float64
+	}{
+		{"sgd", NewSGD(0.1), 200, 1e-2},
+		{"momentum", NewMomentumSGD(0.05, 0.9), 200, 1e-2},
+		{"adam", NewAdam(0.1), 500, 1e-2},
+		{"adagrad", NewAdaGrad(0.5), 800, 1e-2},
+		// RMSProp's normalized steps oscillate at O(lr) around the optimum,
+		// so it gets a looser tolerance.
+		{"rmsprop", NewRMSProp(0.05), 500, 1e-1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if norm := runQuadratic(t, tc.o, tc.steps); norm > tc.tol {
+				t.Fatalf("%s left ||x|| = %v after %d steps", tc.name, norm, tc.steps)
+			}
+		})
+	}
+}
+
+func TestBadHyperparameters(t *testing.T) {
+	p := quadParam(1)
+	for _, o := range []nn.Optimizer{
+		NewSGD(0), NewSGD(-1),
+		&Adam{LR: 0.1, Beta1: 1.5},
+		&RMSProp{LR: 0.1, Decay: 0},
+		NewAdaGrad(-0.1),
+	} {
+		if err := o.Step([]*nn.Param{p}); !errors.Is(err, ErrBadHyper) {
+			t.Fatalf("%T: want ErrBadHyper, got %v", o, err)
+		}
+	}
+}
+
+func TestClipGlobalNorm(t *testing.T) {
+	p := quadParam(0)
+	g, _ := tensor.FromSlice(1, 3, []float64{3, 4, 0})
+	if err := p.AccumulateGrad(g); err != nil {
+		t.Fatal(err)
+	}
+	pre, err := ClipGlobalNorm([]*nn.Param{p}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pre-5) > 1e-12 {
+		t.Fatalf("pre-clip norm %v, want 5", pre)
+	}
+	if n := p.Grad.FrobeniusNorm(); math.Abs(n-1) > 1e-12 {
+		t.Fatalf("post-clip norm %v, want 1", n)
+	}
+	// Below the threshold the gradient is untouched.
+	p.ZeroGrad()
+	small, _ := tensor.FromSlice(1, 3, []float64{0.1, 0, 0})
+	_ = p.AccumulateGrad(small)
+	if _, err := ClipGlobalNorm([]*nn.Param{p}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if p.Grad.At(0, 0) != 0.1 {
+		t.Fatal("clip modified a gradient below threshold")
+	}
+	if _, err := ClipGlobalNorm(nil, 0); !errors.Is(err, ErrBadHyper) {
+		t.Fatal("want ErrBadHyper for non-positive max norm")
+	}
+}
+
+func TestExponentialDecaySchedule(t *testing.T) {
+	sgd := NewSGD(1.0)
+	sched := NewExponentialDecay(sgd, 0.5, 2)
+	p := quadParam(1)
+	for i := 0; i < 5; i++ {
+		p.ZeroGrad()
+		_ = p.AccumulateGrad(p.Value)
+		if err := sched.Step([]*nn.Param{p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After 5 steps the last applied LR corresponds to step index 4: 1.0 * 0.5^(4/2).
+	if math.Abs(sgd.LR-0.25) > 1e-12 {
+		t.Fatalf("scheduled LR %v, want 0.25", sgd.LR)
+	}
+}
+
+func TestTrainMLPOnBlobs(t *testing.T) {
+	// Integration: a 2-layer MLP must separate two well-separated Gaussian
+	// blobs to >95% train accuracy.
+	rng := rand.New(rand.NewSource(7))
+	n := 200
+	x := tensor.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		labels[i] = c
+		cx := float64(c)*4 - 2
+		x.Set(i, 0, cx+rng.NormFloat64()*0.5)
+		x.Set(i, 1, cx+rng.NormFloat64()*0.5)
+	}
+	y, err := nn.OneHot(labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := nn.NewSequential(
+		nn.NewDense(rng, 2, 8),
+		nn.NewReLU(),
+		nn.NewDense(rng, 8, 2),
+	)
+	losses, err := nn.Train(model, x, y, nn.TrainConfig{
+		Epochs:    30,
+		BatchSize: 16,
+		Optimizer: NewAdam(0.01),
+		Loss:      nn.NewSoftmaxCrossEntropy(),
+		Rng:       rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: %v -> %v", losses[0], losses[len(losses)-1])
+	}
+	preds, err := model.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(n); acc < 0.95 {
+		t.Fatalf("train accuracy %v < 0.95", acc)
+	}
+}

@@ -1,0 +1,91 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+)
+
+// MomentsAccountant tracks the cumulative privacy loss of repeated
+// applications of the subsampled Gaussian mechanism, following Abadi et al.
+// [20]. Each step samples each record with probability q and adds Gaussian
+// noise with multiplier sigma (noise stddev = sigma * clip bound).
+//
+// The log-moment of one step is bounded (Lemma 3 of [20], low-order term)
+// by α(λ) ≤ q²λ(λ+1) / ((1-q)σ²) + O(q³λ³/σ³); moments compose additively
+// across steps, and ε is obtained by minimizing over the moment order λ:
+//
+//	ε = min_λ ( T·α(λ) + ln(1/δ) ) / λ.
+type MomentsAccountant struct {
+	// Sigma is the Gaussian noise multiplier.
+	Sigma float64
+	// Q is the per-step sampling probability.
+	Q float64
+	// MaxLambda bounds the moment orders searched (default 64).
+	MaxLambda int
+
+	steps int
+}
+
+// NewMomentsAccountant validates parameters and returns an accountant.
+func NewMomentsAccountant(sigma, q float64) (*MomentsAccountant, error) {
+	if sigma <= 0 {
+		return nil, fmt.Errorf("%w: sigma=%v", ErrBudget, sigma)
+	}
+	if q <= 0 || q > 1 {
+		return nil, fmt.Errorf("%w: q=%v", ErrBudget, q)
+	}
+	return &MomentsAccountant{Sigma: sigma, Q: q, MaxLambda: 64}, nil
+}
+
+// AccumulateSteps records n further mechanism invocations.
+func (a *MomentsAccountant) AccumulateSteps(n int) { a.steps += n }
+
+// Steps returns the number of recorded invocations.
+func (a *MomentsAccountant) Steps() int { return a.steps }
+
+// logMomentBound returns the per-step log-moment bound α(λ).
+func (a *MomentsAccountant) logMomentBound(lambda float64) float64 {
+	q, sigma := a.Q, a.Sigma
+	if q == 1 {
+		// No subsampling amplification: Gaussian mechanism RDP.
+		return lambda * (lambda + 1) / (2 * sigma * sigma)
+	}
+	low := q * q * lambda * (lambda + 1) / ((1 - q) * sigma * sigma)
+	high := math.Pow(q, 3) * math.Pow(lambda, 3) / math.Pow(sigma, 3)
+	return low + high
+}
+
+// Epsilon returns the (ε, δ)-DP guarantee after the recorded steps.
+func (a *MomentsAccountant) Epsilon(delta float64) (float64, error) {
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("%w: delta=%v", ErrBudget, delta)
+	}
+	if a.steps == 0 {
+		return 0, nil
+	}
+	maxLambda := a.MaxLambda
+	if maxLambda <= 0 {
+		maxLambda = 64
+	}
+	best := math.Inf(1)
+	for l := 1; l <= maxLambda; l++ {
+		lambda := float64(l)
+		eps := (float64(a.steps)*a.logMomentBound(lambda) + math.Log(1/delta)) / lambda
+		if eps < best {
+			best = eps
+		}
+	}
+	return best, nil
+}
+
+// StrongCompositionEpsilon is the naive advanced-composition baseline the
+// moments accountant improves on: per-step ε0 composed T times gives
+// ε ≈ ε0 sqrt(2T ln(1/δ')) + T ε0 (e^{ε0}-1). Exposed so experiments can
+// show the accountant's tighter budget (the E6 ablation).
+func StrongCompositionEpsilon(eps0 float64, steps int, deltaPrime float64) (float64, error) {
+	if eps0 <= 0 || steps <= 0 || deltaPrime <= 0 || deltaPrime >= 1 {
+		return 0, fmt.Errorf("%w: eps0=%v steps=%d delta'=%v", ErrBudget, eps0, steps, deltaPrime)
+	}
+	t := float64(steps)
+	return eps0*math.Sqrt(2*t*math.Log(1/deltaPrime)) + t*eps0*(math.Exp(eps0)-1), nil
+}

@@ -1,0 +1,224 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mobiledl/internal/data"
+	"mobiledl/internal/federated"
+	"mobiledl/internal/nn"
+	"mobiledl/internal/opt"
+	"mobiledl/internal/tensor"
+)
+
+// DPFedAvgConfig configures the user-level differentially private federated
+// averaging of McMahan et al. [22], which modifies non-private federated
+// training exactly as Section II-C lists:
+//
+//  1. participants are selected independently with probability P rather
+//     than as a fixed-size cohort;
+//  2. each client update is bounded to L2 norm Clip;
+//  3. a fixed-denominator estimator (q·W) is used for the weighted average
+//     so the moments accountant applies;
+//  4. Gaussian noise with multiplier Sigma is added to the final average.
+type DPFedAvgConfig struct {
+	Rounds int
+	// P is the independent per-client selection probability.
+	P           float64
+	LocalEpochs int
+	LocalBatch  int
+	LocalLR     float64
+	Clip        float64
+	Sigma       float64
+	Seed        int64
+	Eval        func(model *nn.Sequential) (float64, error)
+	EvalEvery   int
+}
+
+func (c *DPFedAvgConfig) validate(numClients int) error {
+	switch {
+	case c.Rounds <= 0:
+		return fmt.Errorf("%w: rounds=%d", ErrBudget, c.Rounds)
+	case c.P <= 0 || c.P > 1:
+		return fmt.Errorf("%w: p=%v", ErrBudget, c.P)
+	case c.LocalEpochs <= 0:
+		return fmt.Errorf("%w: local epochs=%d", ErrBudget, c.LocalEpochs)
+	case c.LocalLR <= 0:
+		return fmt.Errorf("%w: local lr=%v", ErrBudget, c.LocalLR)
+	case c.Clip <= 0:
+		return fmt.Errorf("%w: clip=%v", ErrBudget, c.Clip)
+	case c.Sigma < 0:
+		return fmt.Errorf("%w: sigma=%v", ErrBudget, c.Sigma)
+	case numClients == 0:
+		return fmt.Errorf("%w: no clients", ErrBudget)
+	}
+	return nil
+}
+
+// DPFedAvgResult bundles the trained model, per-round stats, and the
+// accountant carrying the user-level privacy spend.
+type DPFedAvgResult struct {
+	Model      *nn.Sequential
+	Stats      []federated.RoundStats
+	Accountant *MomentsAccountant
+}
+
+// RunDPFedAvg executes user-level DP federated averaging.
+func RunDPFedAvg(factory federated.ModelFactory, shards []*data.ClientShard, classes int, cfg DPFedAvgConfig) (*DPFedAvgResult, error) {
+	if err := cfg.validate(len(shards)); err != nil {
+		return nil, err
+	}
+	global, err := factory()
+	if err != nil {
+		return nil, err
+	}
+	globalParams := global.Params()
+
+	var acct *MomentsAccountant
+	if cfg.Sigma > 0 {
+		acct, err = NewMomentsAccountant(cfg.Sigma, cfg.P)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+	paramBytes := int64(nn.NumParams(globalParams)) * federated.BytesPerValue
+
+	var stats []federated.RoundStats
+	var upBytes, downBytes int64
+
+	// Fixed denominator: expected participation mass q*W with uniform
+	// client weights w_k = 1.
+	expectedMass := cfg.P * float64(len(shards))
+
+	deltas := make([]*tensor.Matrix, len(globalParams))
+	for i, p := range globalParams {
+		deltas[i] = tensor.New(p.Value.Rows(), p.Value.Cols())
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		for i := range deltas {
+			deltas[i].Zero()
+		}
+		participating := 0
+		var roundLoss float64
+		for k := range shards {
+			if rng.Float64() >= cfg.P {
+				continue
+			}
+			participating++
+			update, lossVal, err := clientDelta(factory, globalParams, shards[k], classes, cfg, rng.Int63())
+			if err != nil {
+				return nil, fmt.Errorf("round %d client %d: %w", round, k, err)
+			}
+			roundLoss += lossVal
+			// Bound the flattened update to L2 norm Clip (joint across all
+			// parameter matrices).
+			clipJoint(update, cfg.Clip)
+			for i := range deltas {
+				if err := tensor.AddInPlace(deltas[i], update[i]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if participating > 0 {
+			roundLoss /= float64(participating)
+			upBytes += int64(participating) * paramBytes
+			downBytes += int64(participating) * paramBytes
+		}
+
+		// Fixed-denominator estimator + Gaussian noise on the average.
+		for i, p := range globalParams {
+			deltas[i].ScaleInPlace(1 / expectedMass)
+			if cfg.Sigma > 0 {
+				AddGaussian(rng, deltas[i], cfg.Sigma*cfg.Clip/expectedMass)
+			}
+			if err := tensor.AddInPlace(p.Value, deltas[i]); err != nil {
+				return nil, err
+			}
+		}
+		if acct != nil {
+			acct.AccumulateSteps(1)
+		}
+
+		st := federated.RoundStats{
+			Round:               round,
+			TrainLoss:           roundLoss,
+			Accuracy:            -1,
+			CumulativeUpBytes:   upBytes,
+			CumulativeDownBytes: downBytes,
+			ParticipatingUsers:  participating,
+		}
+		if cfg.Eval != nil && (round%evalEvery == 0 || round == cfg.Rounds-1) {
+			acc, err := cfg.Eval(global)
+			if err != nil {
+				return nil, err
+			}
+			st.Accuracy = acc
+		}
+		stats = append(stats, st)
+	}
+	return &DPFedAvgResult{Model: global, Stats: stats, Accountant: acct}, nil
+}
+
+// clientDelta trains a local copy and returns (w_local - w_global).
+func clientDelta(factory federated.ModelFactory, globalParams []*nn.Param, shard *data.ClientShard, classes int, cfg DPFedAvgConfig, seed int64) ([]*tensor.Matrix, float64, error) {
+	local, err := factory()
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := nn.CopyWeights(local.Params(), globalParams); err != nil {
+		return nil, 0, err
+	}
+	y, err := nn.OneHot(shard.Labels, classes)
+	if err != nil {
+		return nil, 0, err
+	}
+	batch := cfg.LocalBatch
+	if batch <= 0 || batch > shard.Size() {
+		batch = shard.Size()
+	}
+	losses, err := nn.Train(local, shard.X, y, nn.TrainConfig{
+		Epochs:    cfg.LocalEpochs,
+		BatchSize: batch,
+		Optimizer: opt.NewSGD(cfg.LocalLR),
+		Loss:      nn.NewSoftmaxCrossEntropy(),
+		Rng:       rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	localParams := local.Params()
+	update := make([]*tensor.Matrix, len(localParams))
+	for i := range localParams {
+		d, err := tensor.Sub(localParams[i].Value, globalParams[i].Value)
+		if err != nil {
+			return nil, 0, err
+		}
+		update[i] = d
+	}
+	return update, losses[len(losses)-1], nil
+}
+
+// clipJoint rescales the update set so its joint L2 norm is at most bound.
+func clipJoint(update []*tensor.Matrix, bound float64) {
+	var sq float64
+	for _, m := range update {
+		for _, v := range m.Data() {
+			sq += v * v
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > bound {
+		scale := bound / norm
+		for _, m := range update {
+			m.ScaleInPlace(scale)
+		}
+	}
+}

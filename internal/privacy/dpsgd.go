@@ -1,0 +1,147 @@
+package privacy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mobiledl/internal/nn"
+	"mobiledl/internal/tensor"
+)
+
+// DPSGDConfig configures differentially private SGD (Abadi et al. [20]):
+// per-example gradient clipping to L2 bound Clip, Gaussian noise with
+// multiplier Sigma on the summed gradients, and lot-based sampling with
+// probability Q = LotSize / N tracked by the moments accountant.
+type DPSGDConfig struct {
+	Epochs  int
+	LotSize int
+	LR      float64
+	Clip    float64
+	Sigma   float64
+	Seed    int64
+}
+
+func (c *DPSGDConfig) validate() error {
+	switch {
+	case c.Epochs <= 0:
+		return fmt.Errorf("%w: epochs=%d", ErrBudget, c.Epochs)
+	case c.LotSize <= 0:
+		return fmt.Errorf("%w: lot size=%d", ErrBudget, c.LotSize)
+	case c.LR <= 0:
+		return fmt.Errorf("%w: lr=%v", ErrBudget, c.LR)
+	case c.Clip <= 0:
+		return fmt.Errorf("%w: clip=%v", ErrBudget, c.Clip)
+	case c.Sigma <= 0:
+		return fmt.Errorf("%w: sigma=%v", ErrBudget, c.Sigma)
+	}
+	return nil
+}
+
+// DPSGDResult reports the training outcome and the privacy spent.
+type DPSGDResult struct {
+	Losses     []float64
+	Accountant *MomentsAccountant
+}
+
+// TrainDPSGD trains model on (x, labels) with DP-SGD and returns per-epoch
+// losses plus the accountant holding the spent privacy budget.
+func TrainDPSGD(model *nn.Sequential, x *tensor.Matrix, labels []int, classes int, cfg DPSGDConfig) (*DPSGDResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := x.Rows()
+	if n == 0 || n != len(labels) {
+		return nil, fmt.Errorf("%w: %d rows vs %d labels", ErrBudget, n, len(labels))
+	}
+	q := float64(cfg.LotSize) / float64(n)
+	if q > 1 {
+		q = 1
+	}
+	acct, err := NewMomentsAccountant(cfg.Sigma, q)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	loss := nn.NewSoftmaxCrossEntropy()
+	params := model.Params()
+	stepsPerEpoch := n / cfg.LotSize
+	if stepsPerEpoch == 0 {
+		stepsPerEpoch = 1
+	}
+
+	// Accumulators for the clipped per-example gradient sum.
+	sums := make([]*tensor.Matrix, len(params))
+	for i, p := range params {
+		sums[i] = tensor.New(p.Value.Rows(), p.Value.Cols())
+	}
+
+	losses := make([]float64, 0, cfg.Epochs)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochLoss float64
+		var lossCount int
+		for step := 0; step < stepsPerEpoch; step++ {
+			// Poisson-style lot: sample each record with probability q.
+			var lot []int
+			for i := 0; i < n; i++ {
+				if rng.Float64() < q {
+					lot = append(lot, i)
+				}
+			}
+			if len(lot) == 0 {
+				continue
+			}
+			for i := range sums {
+				sums[i].Zero()
+			}
+			for _, idx := range lot {
+				xi, err := x.SelectRows([]int{idx})
+				if err != nil {
+					return nil, err
+				}
+				yi, err := nn.OneHot([]int{labels[idx]}, classes)
+				if err != nil {
+					return nil, err
+				}
+				l, err := nn.GradientsOn(model, xi, yi, loss)
+				if err != nil {
+					return nil, err
+				}
+				epochLoss += l
+				lossCount++
+				// Clip the joint per-example gradient to L2 bound Clip.
+				var sq float64
+				for _, p := range params {
+					for _, g := range p.Grad.Data() {
+						sq += g * g
+					}
+				}
+				scale := 1.0
+				if norm := math.Sqrt(sq); norm > cfg.Clip {
+					scale = cfg.Clip / norm
+				}
+				for pi, p := range params {
+					if err := tensor.AxpyInPlace(sums[pi], scale, p.Grad); err != nil {
+						return nil, err
+					}
+				}
+			}
+			// Noise the sum and take an averaged step.
+			inv := 1 / float64(len(lot))
+			for pi, p := range params {
+				AddGaussian(rng, sums[pi], cfg.Sigma*cfg.Clip)
+				if err := tensor.AxpyInPlace(p.Value, -cfg.LR*inv, sums[pi]); err != nil {
+					return nil, err
+				}
+			}
+			acct.AccumulateSteps(1)
+		}
+		if lossCount > 0 {
+			losses = append(losses, epochLoss/float64(lossCount))
+		} else {
+			losses = append(losses, 0)
+		}
+	}
+	return &DPSGDResult{Losses: losses, Accountant: acct}, nil
+}

@@ -1,0 +1,101 @@
+// Package privacy implements the differential-privacy machinery of Section
+// II-C: Laplace and Gaussian output-perturbation mechanisms, L2 clipping,
+// the moments accountant of Abadi et al. [20], DP-SGD, the user-level
+// DP-FedAvg of McMahan et al. [22], and the sparse vector technique used by
+// Shokri & Shmatikov [16].
+package privacy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mobiledl/internal/tensor"
+)
+
+// ErrBudget reports an invalid privacy parameter.
+var ErrBudget = errors.New("privacy: invalid privacy parameter")
+
+// LaplaceNoise draws one Laplace(0, scale) sample via inverse-CDF.
+func LaplaceNoise(rng *rand.Rand, scale float64) float64 {
+	u := rng.Float64() - 0.5
+	return -scale * math.Copysign(math.Log(1-2*math.Abs(u)), u)
+}
+
+// LaplaceMechanism perturbs m in place to achieve ε-DP for a query with the
+// given L1 sensitivity: noise scale b = sensitivity / ε.
+func LaplaceMechanism(rng *rand.Rand, m *tensor.Matrix, sensitivity, epsilon float64) error {
+	if epsilon <= 0 || sensitivity <= 0 {
+		return fmt.Errorf("%w: laplace sensitivity=%v epsilon=%v", ErrBudget, sensitivity, epsilon)
+	}
+	scale := sensitivity / epsilon
+	d := m.Data()
+	for i := range d {
+		d[i] += LaplaceNoise(rng, scale)
+	}
+	return nil
+}
+
+// GaussianSigma returns the noise standard deviation that makes the Gaussian
+// mechanism (ε, δ)-DP for a query with the given L2 sensitivity:
+// σ = sqrt(2 ln(1.25/δ)) * sensitivity / ε (the classical analytic bound,
+// valid for ε ≤ 1).
+func GaussianSigma(sensitivity, epsilon, delta float64) (float64, error) {
+	if epsilon <= 0 || delta <= 0 || delta >= 1 || sensitivity <= 0 {
+		return 0, fmt.Errorf("%w: gaussian sensitivity=%v epsilon=%v delta=%v",
+			ErrBudget, sensitivity, epsilon, delta)
+	}
+	return math.Sqrt(2*math.Log(1.25/delta)) * sensitivity / epsilon, nil
+}
+
+// GaussianMechanism perturbs m in place with N(0, σ²) noise calibrated for
+// (ε, δ)-DP at the given L2 sensitivity.
+func GaussianMechanism(rng *rand.Rand, m *tensor.Matrix, sensitivity, epsilon, delta float64) error {
+	sigma, err := GaussianSigma(sensitivity, epsilon, delta)
+	if err != nil {
+		return err
+	}
+	AddGaussian(rng, m, sigma)
+	return nil
+}
+
+// AddGaussian adds N(0, sigma²) noise to every element of m in place.
+func AddGaussian(rng *rand.Rand, m *tensor.Matrix, sigma float64) {
+	d := m.Data()
+	for i := range d {
+		d[i] += sigma * rng.NormFloat64()
+	}
+}
+
+// ClipL2 rescales m in place so its Frobenius norm is at most bound,
+// returning the pre-clip norm. This is the per-example gradient clipping of
+// DP-SGD [20] and the update bounding of DP-FedAvg [22].
+func ClipL2(m *tensor.Matrix, bound float64) (float64, error) {
+	if bound <= 0 {
+		return 0, fmt.Errorf("%w: clip bound %v", ErrBudget, bound)
+	}
+	norm := m.FrobeniusNorm()
+	if norm > bound {
+		m.ScaleInPlace(bound / norm)
+	}
+	return norm, nil
+}
+
+// Nullification zeroes each element of m independently with probability
+// rate, the input-nullification perturbation of the ARDEN split-inference
+// framework [30] (Section III-A). It returns the number of nullified cells.
+func Nullification(rng *rand.Rand, m *tensor.Matrix, rate float64) (int, error) {
+	if rate < 0 || rate > 1 {
+		return 0, fmt.Errorf("%w: nullification rate %v", ErrBudget, rate)
+	}
+	d := m.Data()
+	count := 0
+	for i := range d {
+		if rng.Float64() < rate {
+			d[i] = 0
+			count++
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,61 @@
+package privacy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrBudgetExhausted is returned by SparseVector.Query once the positive-
+// answer budget is spent.
+var ErrBudgetExhausted = errors.New("privacy: sparse vector budget exhausted")
+
+// SparseVector implements the sparse vector technique (AboveThreshold) that
+// Shokri & Shmatikov [16] use to privately select which gradients to share:
+// it answers a stream of threshold queries, spending privacy budget only on
+// positive answers, and halts after MaxPositives of them.
+type SparseVector struct {
+	rng          *rand.Rand
+	epsilon      float64
+	sensitivity  float64
+	maxPositives int
+
+	noisyThreshold float64
+	positives      int
+}
+
+// NewSparseVector creates an AboveThreshold instance with total budget
+// epsilon, query sensitivity, threshold, and a cap on positive answers.
+// Half the budget perturbs the threshold; the other half perturbs queries.
+func NewSparseVector(rng *rand.Rand, epsilon, sensitivity, threshold float64, maxPositives int) (*SparseVector, error) {
+	if epsilon <= 0 || sensitivity <= 0 || maxPositives <= 0 {
+		return nil, fmt.Errorf("%w: svt epsilon=%v sensitivity=%v c=%d",
+			ErrBudget, epsilon, sensitivity, maxPositives)
+	}
+	sv := &SparseVector{
+		rng:          rng,
+		epsilon:      epsilon,
+		sensitivity:  sensitivity,
+		maxPositives: maxPositives,
+	}
+	sv.noisyThreshold = threshold + LaplaceNoise(rng, 2*sensitivity/epsilon)
+	return sv, nil
+}
+
+// Query reports whether value exceeds the (noisy) threshold. Only positive
+// answers consume budget; after MaxPositives of them it returns
+// ErrBudgetExhausted.
+func (sv *SparseVector) Query(value float64) (bool, error) {
+	if sv.positives >= sv.maxPositives {
+		return false, ErrBudgetExhausted
+	}
+	noisy := value + LaplaceNoise(sv.rng, 4*float64(sv.maxPositives)*sv.sensitivity/sv.epsilon)
+	if noisy >= sv.noisyThreshold {
+		sv.positives++
+		return true, nil
+	}
+	return false, nil
+}
+
+// PositivesUsed returns how many positive answers have been spent.
+func (sv *SparseVector) PositivesUsed() int { return sv.positives }

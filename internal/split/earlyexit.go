@@ -1,0 +1,130 @@
+package split
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mobiledl/internal/nn"
+	"mobiledl/internal/tensor"
+)
+
+// EarlyExit is the distributed-DNN pattern of Teerapittayanon et al. [25]
+// (Section III): a small exit classifier runs on the device over the local
+// representation; when its softmax confidence clears a threshold the answer
+// is returned locally ("fast and localized inference"), otherwise the
+// representation is offloaded to the deep cloud network.
+type EarlyExit struct {
+	// Pipeline provides the local feature extractor and the cloud network.
+	Pipeline *Pipeline
+	// Exit is the on-device classifier over the local representation.
+	Exit *nn.Sequential
+	// Threshold is the minimum local softmax confidence to answer locally.
+	Threshold float64
+}
+
+// NewEarlyExit wraps a split pipeline with a local exit classifier.
+func NewEarlyExit(p *Pipeline, exit *nn.Sequential, threshold float64) (*EarlyExit, error) {
+	if p == nil || exit == nil {
+		return nil, fmt.Errorf("%w: pipeline and exit classifier required", ErrConfig)
+	}
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("%w: threshold %v", ErrConfig, threshold)
+	}
+	return &EarlyExit{Pipeline: p, Exit: exit, Threshold: threshold}, nil
+}
+
+// TrainExit fits the exit classifier on clean local representations.
+func (e *EarlyExit) TrainExit(x *tensor.Matrix, labels []int, classes int, cfg TrainConfig) error {
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.Optimizer == nil || cfg.Rng == nil {
+		return fmt.Errorf("%w: incomplete train config", ErrConfig)
+	}
+	rep, err := e.Pipeline.TransformClean(x)
+	if err != nil {
+		return err
+	}
+	y, err := nn.OneHot(labels, classes)
+	if err != nil {
+		return err
+	}
+	_, err = nn.Train(e.Exit, rep, y, nn.TrainConfig{
+		Epochs:    cfg.Epochs,
+		BatchSize: cfg.BatchSize,
+		Optimizer: cfg.Optimizer,
+		Loss:      nn.NewSoftmaxCrossEntropy(),
+		Rng:       cfg.Rng,
+	})
+	return err
+}
+
+// ExitStats summarizes one cascade evaluation.
+type ExitStats struct {
+	Total      int
+	LocalExits int
+	Offloaded  int
+	Accuracy   float64
+	// LocalFraction is LocalExits / Total.
+	LocalFraction float64
+}
+
+// Predict classifies one batch through the cascade, reporting per-sample
+// predictions and where each was answered. Offloaded samples go through the
+// pipeline's privacy perturbation exactly like plain split inference.
+func (e *EarlyExit) Predict(rng *rand.Rand, x *tensor.Matrix) ([]int, []bool, error) {
+	rep, err := e.Pipeline.TransformClean(x)
+	if err != nil {
+		return nil, nil, err
+	}
+	probs, err := e.Exit.PredictProba(rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	preds := make([]int, x.Rows())
+	local := make([]bool, x.Rows())
+	var offloadIdx []int
+	for i := 0; i < x.Rows(); i++ {
+		c := probs.ArgMaxRow(i)
+		if probs.At(i, c) >= e.Threshold {
+			preds[i] = c
+			local[i] = true
+			continue
+		}
+		offloadIdx = append(offloadIdx, i)
+	}
+	if len(offloadIdx) > 0 {
+		sub, err := x.SelectRows(offloadIdx)
+		if err != nil {
+			return nil, nil, err
+		}
+		cloudPreds, err := e.Pipeline.Predict(rng, sub)
+		if err != nil {
+			return nil, nil, err
+		}
+		for k, i := range offloadIdx {
+			preds[i] = cloudPreds[k]
+		}
+	}
+	return preds, local, nil
+}
+
+// Evaluate runs the cascade over labeled data and reports accuracy plus the
+// local-exit fraction (the communication saving vs always offloading).
+func (e *EarlyExit) Evaluate(rng *rand.Rand, x *tensor.Matrix, labels []int) (ExitStats, error) {
+	preds, local, err := e.Predict(rng, x)
+	if err != nil {
+		return ExitStats{}, err
+	}
+	stats := ExitStats{Total: len(preds)}
+	correct := 0
+	for i, p := range preds {
+		if p == labels[i] {
+			correct++
+		}
+		if local[i] {
+			stats.LocalExits++
+		}
+	}
+	stats.Offloaded = stats.Total - stats.LocalExits
+	stats.Accuracy = float64(correct) / float64(stats.Total)
+	stats.LocalFraction = float64(stats.LocalExits) / float64(stats.Total)
+	return stats, nil
+}

@@ -1,0 +1,108 @@
+package split
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mobiledl/internal/data"
+	"mobiledl/internal/nn"
+	"mobiledl/internal/opt"
+	"mobiledl/internal/tensor"
+)
+
+// buildCascade trains both the cloud network (noisy) and a small local exit
+// classifier over the shared frozen local representation.
+func buildCascade(t *testing.T, threshold float64) (*EarlyExit, *dataSet) {
+	t.Helper()
+	fb, err := data.GenerateFedBench(data.FedBenchConfig{Samples: 600, Classes: 3, Dim: 10, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trX, trY, teX, teY, err := fb.Split(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := buildPipeline(t, 0.15, 0.3)
+	if _, err := p.TrainCloud(trX, trY, 3, TrainConfig{
+		Epochs: 25, BatchSize: 32, Optimizer: opt.NewAdam(0.01),
+		Rng: rand.New(rand.NewSource(62)), NoisyFraction: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	exitRng := rand.New(rand.NewSource(63))
+	exit := nn.NewSequential(nn.NewDense(exitRng, 6, 3))
+	cascade, err := NewEarlyExit(p, exit, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cascade.TrainExit(trX, trY, 3, TrainConfig{
+		Epochs: 10, BatchSize: 32, Optimizer: opt.NewAdam(0.01),
+		Rng: rand.New(rand.NewSource(64)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return cascade, &dataSet{teX: teX, teY: teY}
+}
+
+type dataSet struct {
+	teX *tensor.Matrix
+	teY []int
+}
+
+func TestEarlyExitValidation(t *testing.T) {
+	p, _ := buildPipeline(t, 0, 0)
+	rng := rand.New(rand.NewSource(1))
+	exit := nn.NewSequential(nn.NewDense(rng, 6, 3))
+	if _, err := NewEarlyExit(nil, exit, 0.5); !errors.Is(err, ErrConfig) {
+		t.Fatal("want ErrConfig for nil pipeline")
+	}
+	if _, err := NewEarlyExit(p, nil, 0.5); !errors.Is(err, ErrConfig) {
+		t.Fatal("want ErrConfig for nil exit")
+	}
+	if _, err := NewEarlyExit(p, exit, 1.5); !errors.Is(err, ErrConfig) {
+		t.Fatal("want ErrConfig for threshold > 1")
+	}
+	cascade, err := NewEarlyExit(p, exit, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cascade.TrainExit(nil, nil, 3, TrainConfig{}); !errors.Is(err, ErrConfig) {
+		t.Fatal("want ErrConfig for zero train config")
+	}
+}
+
+func TestEarlyExitThresholdControlsOffload(t *testing.T) {
+	low, ds := buildCascade(t, 0.4)
+	high, _ := buildCascade(t, 0.99)
+	rng := rand.New(rand.NewSource(65))
+	lowStats, err := low.Evaluate(rng, ds.teX, ds.teY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	highStats, err := high.Evaluate(rand.New(rand.NewSource(65)), ds.teX, ds.teY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lowStats.LocalFraction <= highStats.LocalFraction {
+		t.Fatalf("lower threshold should exit locally more: %v vs %v",
+			lowStats.LocalFraction, highStats.LocalFraction)
+	}
+	if lowStats.LocalExits+lowStats.Offloaded != lowStats.Total {
+		t.Fatal("exit accounting inconsistent")
+	}
+}
+
+func TestEarlyExitAccuracyReasonable(t *testing.T) {
+	cascade, ds := buildCascade(t, 0.75)
+	stats, err := cascade.Evaluate(rand.New(rand.NewSource(66)), ds.teX, ds.teY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accuracy < 0.7 {
+		t.Fatalf("cascade accuracy %v", stats.Accuracy)
+	}
+	if stats.LocalFraction == 0 {
+		t.Fatal("cascade never exited locally at threshold 0.75")
+	}
+}

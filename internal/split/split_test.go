@@ -1,0 +1,185 @@
+package split
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mobiledl/internal/data"
+	"mobiledl/internal/nn"
+	"mobiledl/internal/opt"
+)
+
+// buildPipeline creates a split pipeline over a synthetic task: a frozen
+// random-projection local net and a trainable cloud classifier.
+func buildPipeline(t *testing.T, nullRate, sigma float64) (*Pipeline, func() *nn.Sequential) {
+	t.Helper()
+	localRng := rand.New(rand.NewSource(21))
+	local := nn.NewSequential(nn.NewDense(localRng, 10, 6), nn.NewTanh())
+	newCloud := func() *nn.Sequential {
+		r := rand.New(rand.NewSource(22))
+		return nn.NewSequential(nn.NewDense(r, 6, 16), nn.NewReLU(), nn.NewDense(r, 16, 3))
+	}
+	p, err := New(Config{
+		Local:      local,
+		Cloud:      newCloud(),
+		NullRate:   nullRate,
+		NoiseSigma: sigma,
+		Bound:      2.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, newCloud
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	local := nn.NewSequential(nn.NewDense(rng, 4, 2))
+	cloud := nn.NewSequential(nn.NewDense(rng, 2, 2))
+	bad := []Config{
+		{Local: nil, Cloud: cloud, Bound: 1},
+		{Local: local, Cloud: nil, Bound: 1},
+		{Local: local, Cloud: cloud, NullRate: 1, Bound: 1},
+		{Local: local, Cloud: cloud, NoiseSigma: -1, Bound: 1},
+		{Local: local, Cloud: cloud, Bound: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); !errors.Is(err, ErrConfig) {
+			t.Fatalf("config %+v: want ErrConfig, got %v", cfg, err)
+		}
+	}
+}
+
+func TestTransformAppliesPerturbation(t *testing.T) {
+	p, _ := buildPipeline(t, 0.3, 0.5)
+	fb, err := data.GenerateFedBench(data.FedBenchConfig{Samples: 20, Classes: 3, Dim: 10, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	clean, err := p.TransformClean(fb.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := p.Transform(rng, fb.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Equal(noisy, 1e-9) {
+		t.Fatal("perturbed transform equals clean transform")
+	}
+	if noisy.Rows() != 20 || noisy.Cols() != 6 {
+		t.Fatalf("transform shape %dx%d", noisy.Rows(), noisy.Cols())
+	}
+}
+
+func TestPayloadSmallerThanInput(t *testing.T) {
+	p, _ := buildPipeline(t, 0, 0)
+	raw, transformed := p.PayloadBytes(10)
+	if transformed >= raw {
+		t.Fatalf("transformed payload %d should be smaller than raw %d", transformed, raw)
+	}
+}
+
+func TestEpsilonCalibration(t *testing.T) {
+	p, _ := buildPipeline(t, 0, 1.0)
+	eps1, err := p.Epsilon(1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.NoiseSigma = 2.0
+	eps2, err := p.Epsilon(1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps2 >= eps1 {
+		t.Fatal("more noise must mean smaller epsilon")
+	}
+	p.NoiseSigma = 0
+	if _, err := p.Epsilon(1e-5); !errors.Is(err, ErrConfig) {
+		t.Fatal("no noise should refuse to report a DP guarantee")
+	}
+	p.NoiseSigma = 1
+	if _, err := p.Epsilon(0); !errors.Is(err, ErrConfig) {
+		t.Fatal("want ErrConfig for delta=0")
+	}
+}
+
+func TestNoisyTrainingBeatsCleanUnderPerturbation(t *testing.T) {
+	// The core ARDEN claim (E8): with perturbed inference, a cloud net
+	// trained with noisy samples outperforms one trained on clean
+	// representations only.
+	fb, err := data.GenerateFedBench(data.FedBenchConfig{Samples: 600, Classes: 3, Dim: 10, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trX, trY, teX, teY, err := fb.Split(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(noisyFraction float64) float64 {
+		p, _ := buildPipeline(t, 0.25, 0.6)
+		rng := rand.New(rand.NewSource(5))
+		if _, err := p.TrainCloud(trX, trY, 3, TrainConfig{
+			Epochs:        25,
+			BatchSize:     32,
+			Optimizer:     opt.NewAdam(0.01),
+			Rng:           rng,
+			NoisyFraction: noisyFraction,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Average over several perturbed evaluations to reduce variance.
+		var total float64
+		const reps = 5
+		for i := 0; i < reps; i++ {
+			acc, err := p.Accuracy(rand.New(rand.NewSource(int64(100+i))), teX, teY)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += acc
+		}
+		return total / reps
+	}
+
+	cleanAcc := run(0)
+	noisyAcc := run(2)
+	if noisyAcc <= cleanAcc {
+		t.Fatalf("noisy training (%v) did not beat clean training (%v) under perturbation",
+			noisyAcc, cleanAcc)
+	}
+	if noisyAcc < 0.6 {
+		t.Fatalf("noisy-trained pipeline accuracy %v too low", noisyAcc)
+	}
+}
+
+func TestTrainCloudValidation(t *testing.T) {
+	p, _ := buildPipeline(t, 0, 0)
+	fb, _ := data.GenerateFedBench(data.FedBenchConfig{Samples: 20, Classes: 3, Dim: 10, Seed: 1})
+	if _, err := p.TrainCloud(fb.X, fb.Labels, 3, TrainConfig{}); !errors.Is(err, ErrConfig) {
+		t.Fatal("want ErrConfig for zero config")
+	}
+	if _, err := p.TrainCloud(fb.X, fb.Labels, 3, TrainConfig{
+		Epochs: 1, BatchSize: 8, Optimizer: opt.NewAdam(0.01),
+		Rng: rand.New(rand.NewSource(1)), NoisyFraction: 9,
+	}); !errors.Is(err, ErrConfig) {
+		t.Fatal("want ErrConfig for huge noisy fraction")
+	}
+}
+
+func TestFrozenLocalUnchangedByTraining(t *testing.T) {
+	p, _ := buildPipeline(t, 0.2, 0.3)
+	fb, _ := data.GenerateFedBench(data.FedBenchConfig{Samples: 100, Classes: 3, Dim: 10, Seed: 3})
+	before := p.Local.Params()[0].Value.Clone()
+	if _, err := p.TrainCloud(fb.X, fb.Labels, 3, TrainConfig{
+		Epochs: 3, BatchSize: 16, Optimizer: opt.NewAdam(0.01),
+		Rng: rand.New(rand.NewSource(4)), NoisyFraction: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Local.Params()[0].Value.Equal(before, 0) {
+		t.Fatal("cloud training modified the frozen local network")
+	}
+}

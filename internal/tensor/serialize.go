@@ -1,0 +1,41 @@
+package tensor
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// matrixWire is the gob wire format for Matrix; the struct fields of Matrix
+// itself are unexported by design, so we marshal through this mirror.
+type matrixWire struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// GobEncode implements gob.GobEncoder.
+func (m *Matrix) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(matrixWire{Rows: m.rows, Cols: m.cols, Data: m.data}); err != nil {
+		return nil, fmt.Errorf("encode matrix: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Matrix) GobDecode(b []byte) error {
+	var w matrixWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return fmt.Errorf("decode matrix: %w", err)
+	}
+	if len(w.Data) != w.Rows*w.Cols {
+		return fmt.Errorf("%w: decoded %d values for %dx%d", ErrShape, len(w.Data), w.Rows, w.Cols)
+	}
+	m.rows, m.cols, m.data = w.Rows, w.Cols, w.Data
+	return nil
+}
+
+var (
+	_ gob.GobEncoder = (*Matrix)(nil)
+	_ gob.GobDecoder = (*Matrix)(nil)
+)
