@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt bench serve-bench
+
+all: build test vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent subsystems (the serving runtime and its
+# instrumentation are the hot spots).
+race:
+	$(GO) test -race ./internal/serve/... ./internal/metrics/... ./internal/federated/...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Full benchmark sweep (paper artifacts + substrate micro-benches).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Serving throughput at max batch sizes 1/8/32 (requests/sec).
+serve-bench:
+	$(GO) test -run '^$$' -bench BenchmarkServeThroughput -benchtime 2s .

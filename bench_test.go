@@ -1,13 +1,18 @@
 package mobiledl_test
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"mobiledl/internal/compress"
 	"mobiledl/internal/experiments"
 	"mobiledl/internal/nn"
+	"mobiledl/internal/serve"
 	"mobiledl/internal/tensor"
 )
 
@@ -61,6 +66,56 @@ func BenchmarkDeepMood(b *testing.B) { benchExperiment(b, "deepmood") }
 
 // BenchmarkPairID regenerates E13: mean pairwise identification metrics.
 func BenchmarkPairID(b *testing.B) { benchExperiment(b, "pairid") }
+
+// BenchmarkServeThroughput measures requests/sec through the serving
+// runtime (registry -> adaptive batcher -> executor) at max batch sizes
+// 1/8/32 with 64 concurrent clients: the adaptive-batching win is batched
+// throughput (batch32) beating unbatched (batch1) on the same model.
+func BenchmarkServeThroughput(b *testing.B) {
+	// A mobile-scale MLP (the paper serves compressed models, so per-row
+	// compute is small and per-request dispatch overhead matters).
+	rng := rand.New(rand.NewSource(1))
+	model := nn.NewSequential(
+		nn.NewDense(rng, 64, 64), nn.NewReLU(),
+		nn.NewDense(rng, 64, 64), nn.NewReLU(),
+		nn.NewDense(rng, 64, 10),
+	)
+	for _, size := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("batch%d", size), func(b *testing.B) {
+			reg := serve.NewRegistry()
+			if _, err := reg.Install("bench", &serve.Servable{Net: model}); err != nil {
+				b.Fatal(err)
+			}
+			rt, err := serve.NewRuntime(serve.RuntimeConfig{
+				Registry: reg, Model: "bench",
+				Batch: serve.BatcherConfig{MaxBatch: size, MaxDelay: 500 * time.Microsecond},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Close()
+			// Keep >= 64 submitters in flight so full batches can form.
+			procs := runtime.GOMAXPROCS(0)
+			b.SetParallelism((64 + procs - 1) / procs)
+			feats := make([]float64, 64)
+			for i := range feats {
+				feats[i] = rng.NormFloat64()
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := rt.Predict(context.Background(), feats); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			b.ReportMetric(rt.Stats().BatchOccupancy, "rows/batch")
+		})
+	}
+}
 
 // --- Micro-benchmarks of the hot substrate paths ---
 

@@ -1,0 +1,180 @@
+// Command mobiledlserve runs the model-serving runtime as an HTTP server:
+// it trains demonstration models on synthetic data (a plain MLP — optionally
+// Deep-Compressed — and a split/early-exit cascade), installs them in a
+// registry, and serves predictions with adaptive batching.
+//
+//	mobiledlserve -addr :8080 -batch 32 -window 2ms
+//
+// Endpoints:
+//
+//	POST /v1/predict  {"model":"mlp","features":[[...64 floats...]]}
+//	GET  /v1/stats    p50/p99 latency, throughput, batch occupancy
+//	GET  /v1/models   registry listing (versions, compression ratio)
+//	GET  /healthz
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"mobiledl/internal/compress"
+	"mobiledl/internal/core"
+	"mobiledl/internal/data"
+	"mobiledl/internal/mobile"
+	"mobiledl/internal/nn"
+	"mobiledl/internal/opt"
+	"mobiledl/internal/serve"
+	"mobiledl/internal/split"
+)
+
+const (
+	inputDim = 64
+	classes  = 10
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mobiledlserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mobiledlserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "HTTP listen address")
+	maxBatch := fs.Int("batch", 32, "max coalesced batch size")
+	window := fs.Duration("window", 2*time.Millisecond, "batch latency budget")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	sparsity := fs.Float64("sparsity", 0.9, "pruning sparsity for the compressed model")
+	bits := fs.Int("bits", 4, "quantization bits for the compressed model")
+	seed := fs.Int64("seed", 1, "random seed")
+	network := fs.String("network", "wifi", "simulated device link: wifi|lte|offline")
+	sleepNet := fs.Bool("sleepnet", false, "sleep the simulated network latency for wall-clock realism")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	net, err := parseNetwork(*network)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("training demonstration models on synthetic data...")
+	reg := serve.NewRegistry()
+	if err := installModels(reg, *sparsity, *bits, *seed); err != nil {
+		return err
+	}
+
+	srv := serve.NewServer(reg)
+	defer srv.Close()
+	batch := serve.BatcherConfig{MaxBatch: *maxBatch, MaxDelay: *window, Workers: *workers}
+	for _, name := range []string{"mlp", "mlp-compressed", "cascade"} {
+		rt, err := serve.NewRuntime(serve.RuntimeConfig{
+			Registry: reg, Model: name, Batch: batch,
+			Net: net, Seed: *seed, SleepNet: *sleepNet,
+		})
+		if err != nil {
+			return err
+		}
+		srv.Add(rt)
+	}
+
+	for _, info := range reg.Snapshot() {
+		line := fmt.Sprintf("serving %-15s v%d  %s  %d params", info.Name, info.Version, info.Kind, info.Params)
+		if info.Compressed {
+			line += fmt.Sprintf("  (%.1fx compressed)", info.Ratio)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("listening on %s (batch<=%d, window %s, network %s)\n", *addr, *maxBatch, *window, net.Kind)
+	return http.ListenAndServe(*addr, srv.Handler())
+}
+
+func parseNetwork(s string) (mobile.Network, error) {
+	switch s {
+	case "wifi":
+		return mobile.WiFiNetwork(), nil
+	case "lte":
+		return mobile.LTENetwork(), nil
+	case "offline":
+		return mobile.OfflineNetwork(), nil
+	default:
+		return mobile.Network{}, fmt.Errorf("unknown network %q (wifi|lte|offline)", s)
+	}
+}
+
+// installModels trains three servables on one synthetic task: a plain MLP, a
+// Deep-Compressed copy of it (loaded through the registry's compression
+// path), and a split/early-exit cascade.
+func installModels(reg *serve.Registry, sparsity float64, bits int, seed int64) error {
+	fb, err := data.GenerateFedBench(data.FedBenchConfig{Samples: 800, Classes: classes, Dim: inputDim, Seed: seed})
+	if err != nil {
+		return err
+	}
+
+	// Plain MLP.
+	model, _, err := core.NewMLP(core.MLPSpec{In: inputDim, Hidden: []int{64, 32}, Classes: classes, Seed: seed})
+	if err != nil {
+		return err
+	}
+	if err := core.TrainCentralized(model, fb.X, fb.Labels, classes, 4, seed); err != nil {
+		return err
+	}
+	if _, err := reg.Install("mlp", &serve.Servable{Net: model}); err != nil {
+		return err
+	}
+
+	// Compressed copy, loaded through the registry's factory + pipeline path.
+	blob, err := nn.EncodeWeights(model)
+	if err != nil {
+		return err
+	}
+	err = reg.Register("mlp-compressed", func() (*serve.Servable, error) {
+		m, _, err := core.NewMLP(core.MLPSpec{In: inputDim, Hidden: []int{64, 32}, Classes: classes, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return &serve.Servable{Net: m}, nil
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := reg.LoadCompressed("mlp-compressed", bytes.NewReader(blob),
+		compress.PipelineConfig{Sparsity: sparsity, Bits: bits, Seed: seed}); err != nil {
+		return err
+	}
+
+	// Split/early-exit cascade.
+	rng := rand.New(rand.NewSource(seed))
+	local := nn.NewSequential(nn.NewDense(rng, inputDim, 32), nn.NewTanh())
+	cloud := nn.NewSequential(nn.NewDense(rng, 32, 64), nn.NewReLU(), nn.NewDense(rng, 64, classes))
+	exit := nn.NewSequential(nn.NewDense(rng, 32, classes))
+	pipe, err := split.New(split.Config{Local: local, Cloud: cloud, NullRate: 0.1, NoiseSigma: 0.5, Bound: 4})
+	if err != nil {
+		return err
+	}
+	tc := split.TrainConfig{
+		Epochs: 4, BatchSize: 32, Optimizer: opt.NewAdam(0.01),
+		Rng: rng, NoisyFraction: 1,
+	}
+	if _, err := pipe.TrainCloud(fb.X, fb.Labels, classes, tc); err != nil {
+		return err
+	}
+	cascade, err := split.NewEarlyExit(pipe, exit, 0.8)
+	if err != nil {
+		return err
+	}
+	exitCfg := tc
+	exitCfg.NoisyFraction = 0
+	if err := cascade.TrainExit(fb.X, fb.Labels, classes, exitCfg); err != nil {
+		return err
+	}
+	if _, err := reg.Install("cascade", &serve.Servable{Cascade: cascade}); err != nil {
+		return err
+	}
+	return nil
+}

@@ -8,4 +8,34 @@
 // inventory and per-experiment index, and EXPERIMENTS.md for paper-vs-
 // measured results. The root-level bench_test.go regenerates every table
 // and figure as a testing.B benchmark; cmd/paperbench prints them.
+//
+// # Serving runtime
+//
+// internal/serve turns the algorithmic pieces into a concurrent
+// model-serving system, flowing registry -> batcher -> executor:
+//
+//   - Registry names, versions, and hot-swaps servable models. A Servable
+//     is either a plain nn.Sequential or a split/early-exit cascade
+//     (internal/split). Weights travel as nn.SaveWeights blobs — Register an
+//     architecture factory and Load blobs into it (LoadCompressed routes
+//     them through the internal/compress Deep Compression pipeline first),
+//     or Install an in-process model directly. Reads are lock-free; swaps
+//     take effect at the next batch boundary.
+//   - Batcher coalesces single-row requests into tensor batches under a
+//     latency budget: a batch flushes when it reaches MaxBatch rows or
+//     MaxDelay after its first request, whichever comes first, and a worker
+//     pool sized to GOMAXPROCS executes flushed batches.
+//   - Executor consults the internal/mobile placement cost model per batch.
+//     Plain models run local or cloud (cheapest feasible); cascades run the
+//     device-side layers, answer rows whose early-exit confidence clears the
+//     threshold on-device (short-circuiting the uplink entirely when every
+//     row exits), and finish the rest cloud-side through the perturbed
+//     split pipeline, simulating the transfer.
+//
+// Runtime wires the three together for one model and Server exposes any
+// number of runtimes over HTTP/JSON (POST /v1/predict, GET /v1/stats with
+// p50/p99 latency, throughput and batch occupancy via internal/metrics,
+// GET /v1/models). cmd/mobiledlserve is the standalone server binary;
+// examples/serving is the in-process quickstart; BenchmarkServeThroughput
+// in bench_test.go measures requests/sec at max batch sizes 1/8/32.
 package mobiledl

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// LatencyRecorder accumulates latency observations for a serving runtime.
+// Quantiles are computed over a sliding window of the most recent samples
+// (a fixed-capacity ring, so memory is bounded under sustained load), while
+// count, mean, and max cover the recorder's whole lifetime. All methods are
+// safe for concurrent use.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []float64 // ring buffer of recent observations
+	next    int       // ring write cursor
+	count   uint64
+	sum     float64
+	max     float64
+}
+
+// NewLatencyRecorder builds a recorder whose quantile window holds capacity
+// samples (minimum 1).
+func NewLatencyRecorder(capacity int) *LatencyRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LatencyRecorder{samples: make([]float64, 0, capacity)}
+}
+
+// Record adds one observation (any unit; callers in this repo use
+// milliseconds). NaN and negative values are dropped.
+func (r *LatencyRecorder) Record(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count++
+	r.sum += v
+	if v > r.max {
+		r.max = v
+	}
+	if len(r.samples) < cap(r.samples) {
+		r.samples = append(r.samples, v)
+		return
+	}
+	r.samples[r.next] = v
+	r.next = (r.next + 1) % cap(r.samples)
+}
+
+// Count returns the lifetime number of recorded observations.
+func (r *LatencyRecorder) Count() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) over the sliding window,
+// with linear interpolation between adjacent order statistics. It returns an
+// error when no samples have been recorded or q is out of range.
+func (r *LatencyRecorder) Quantile(q float64) (float64, error) {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("%w: quantile %v", ErrInput, q)
+	}
+	r.mu.Lock()
+	window := append([]float64(nil), r.samples...)
+	r.mu.Unlock()
+	if len(window) == 0 {
+		return 0, fmt.Errorf("%w: no samples recorded", ErrInput)
+	}
+	sort.Float64s(window)
+	return quantileOf(window, q), nil
+}
+
+// quantileOf interpolates the q-th quantile of an already-sorted, non-empty
+// sample.
+func quantileOf(sorted []float64, q float64) float64 {
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// LatencySummary is a point-in-time digest of a LatencyRecorder, shaped for
+// a stats endpoint.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Snapshot digests the recorder. An empty recorder yields a zero summary.
+func (r *LatencyRecorder) Snapshot() LatencySummary {
+	r.mu.Lock()
+	s := LatencySummary{Count: r.count, Max: r.max}
+	if r.count > 0 {
+		s.Mean = r.sum / float64(r.count)
+	}
+	window := append([]float64(nil), r.samples...)
+	r.mu.Unlock()
+	if len(window) == 0 {
+		return s
+	}
+	sort.Float64s(window)
+	s.P50 = quantileOf(window, 0.50)
+	s.P90 = quantileOf(window, 0.90)
+	s.P99 = quantileOf(window, 0.99)
+	return s
+}

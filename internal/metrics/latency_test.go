@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestLatencyRecorderQuantiles(t *testing.T) {
+	r := NewLatencyRecorder(1000)
+	for i := 1; i <= 100; i++ {
+		r.Record(float64(i))
+	}
+	if r.Count() != 100 {
+		t.Fatalf("count %d, want 100", r.Count())
+	}
+	p50, err := r.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p50-50.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 50.5", p50)
+	}
+	s := r.Snapshot()
+	if s.Max != 100 || math.Abs(s.Mean-50.5) > 1e-9 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.P99 < s.P90 || s.P90 < s.P50 {
+		t.Fatalf("quantiles out of order: %+v", s)
+	}
+	if _, err := r.Quantile(1.5); !errors.Is(err, ErrInput) {
+		t.Fatalf("out-of-range quantile: %v", err)
+	}
+}
+
+func TestLatencyRecorderEmptyAndInvalid(t *testing.T) {
+	r := NewLatencyRecorder(8)
+	if _, err := r.Quantile(0.5); !errors.Is(err, ErrInput) {
+		t.Fatalf("empty quantile: %v", err)
+	}
+	if s := r.Snapshot(); s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot %+v", s)
+	}
+	r.Record(-1)
+	r.Record(math.NaN())
+	if r.Count() != 0 {
+		t.Fatal("invalid samples must be dropped")
+	}
+}
+
+func TestLatencyRecorderSlidingWindow(t *testing.T) {
+	r := NewLatencyRecorder(4)
+	for i := 0; i < 100; i++ {
+		r.Record(1000) // old regime
+	}
+	for i := 0; i < 4; i++ {
+		r.Record(1) // new regime fills the window
+	}
+	p99, err := r.Quantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p99 != 1 {
+		t.Fatalf("window quantile should forget old samples, p99 = %v", p99)
+	}
+	// Lifetime stats still remember everything.
+	if s := r.Snapshot(); s.Count != 104 || s.Max != 1000 {
+		t.Fatalf("lifetime stats %+v", s)
+	}
+}
+
+func TestLatencyRecorderConcurrent(t *testing.T) {
+	r := NewLatencyRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(float64(g*500 + i))
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Count() != 4000 {
+		t.Fatalf("count %d, want 4000", r.Count())
+	}
+}

@@ -2,6 +2,8 @@ package mobile
 
 import (
 	"fmt"
+
+	"mobiledl/internal/nn"
 )
 
 // Placement is an inference execution strategy (Section III).
@@ -55,6 +57,25 @@ type Workload struct {
 	PayloadBytes int64
 	// OutputBytes is the result payload downloaded from the cloud.
 	OutputBytes int64
+}
+
+// WorkloadFor derives a per-sample Workload from a model: full-model MACs
+// and bytes, raw float64 input/output payloads, and — when a local (device-
+// side) prefix and its representation width are given — the device share of
+// the compute and the transformed upload payload for the split placement.
+// local may be nil for models served whole (repDim is then ignored).
+func WorkloadFor(full *nn.Sequential, local *nn.Sequential, inputDim, classes, repDim int) Workload {
+	w := Workload{
+		TotalMACs:   ModelMACs(full),
+		ModelBytes:  ModelBytes(full),
+		InputBytes:  int64(inputDim) * 8,
+		OutputBytes: int64(classes) * 8,
+	}
+	if local != nil {
+		w.LocalMACs = ModelMACs(local)
+		w.PayloadBytes = int64(repDim) * 8
+	}
+	return w
 }
 
 // EvaluateLocal costs on-device inference: no traffic, full compute and

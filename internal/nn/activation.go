@@ -63,10 +63,14 @@ func Sigmoid(v float64) float64 {
 // Name returns the activation's name.
 func (a *Activation) Name() string { return a.name }
 
-// Forward implements Layer.
-func (a *Activation) Forward(x *tensor.Matrix, _ bool) (*tensor.Matrix, error) {
-	a.y = tensor.Apply(x, a.fn)
-	return a.y, nil
+// Forward implements Layer. The output is cached for Backward only in train
+// mode, so inference (train=false) is pure and safe for concurrent callers.
+func (a *Activation) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
+	y := tensor.Apply(x, a.fn)
+	if train {
+		a.y = y
+	}
+	return y, nil
 }
 
 // Backward implements Layer.
@@ -102,9 +106,13 @@ func NewDropout(rng *rand.Rand, rate float64) *Dropout {
 	return &Dropout{rate: rate, rng: rng}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. Inference (train=false) writes no state, so it
+// is safe for concurrent callers.
 func (d *Dropout) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
-	if !train || d.rate == 0 {
+	if !train {
+		return x, nil
+	}
+	if d.rate == 0 {
 		d.mask = nil
 		return x, nil
 	}

@@ -45,8 +45,9 @@ func (d *Dense) Weights() *Param { return d.w }
 // Bias returns the bias parameter (1 x out).
 func (d *Dense) Bias() *Param { return d.b }
 
-// Forward implements Layer.
-func (d *Dense) Forward(x *tensor.Matrix, _ bool) (*tensor.Matrix, error) {
+// Forward implements Layer. The input is cached for Backward only in train
+// mode, so inference (train=false) is pure and safe for concurrent callers.
+func (d *Dense) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
 	y, err := tensor.MatMul(x, d.w.Value)
 	if err != nil {
 		return nil, fmt.Errorf("dense forward: %w", err)
@@ -55,7 +56,9 @@ func (d *Dense) Forward(x *tensor.Matrix, _ bool) (*tensor.Matrix, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dense forward bias: %w", err)
 	}
-	d.x = x
+	if train {
+		d.x = x
+	}
 	return y, nil
 }
 

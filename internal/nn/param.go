@@ -68,11 +68,15 @@ type Optimizer interface {
 	Step(params []*Param) error
 }
 
-// Layer is a differentiable module. Forward caches whatever Backward needs;
-// a layer instance is therefore not safe for concurrent use.
+// Layer is a differentiable module. Forward with train=true caches whatever
+// Backward needs, so a layer instance is not safe for concurrent training.
+// Forward with train=false must not mutate layer state: inference on a
+// shared instance is safe for concurrent callers (the serving runtime's
+// worker pool relies on this).
 type Layer interface {
 	// Forward computes the layer output for input x (batch x features).
-	// train enables training-only behavior such as dropout.
+	// train enables training-only behavior such as dropout and the state
+	// caching Backward depends on.
 	Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error)
 	// Backward consumes the gradient of the loss w.r.t. the layer output,
 	// accumulates parameter gradients, and returns the gradient w.r.t. the

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -31,6 +32,27 @@ func SaveWeights(w io.Writer, params []*Param) error {
 		return fmt.Errorf("save weights: %w", err)
 	}
 	return nil
+}
+
+// ParamSource is anything exposing an ordered trainable-parameter list;
+// every Layer is one, as are composite servables outside this package.
+type ParamSource interface {
+	Params() []*Param
+}
+
+// EncodeWeights returns the SaveWeights encoding of a model's parameters as
+// a byte slice, the unit of exchange for model registries and checkpoints.
+func EncodeWeights(model ParamSource) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, model.Params()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeWeights loads an EncodeWeights blob into the model's parameters.
+func DecodeWeights(model ParamSource, b []byte) error {
+	return LoadWeights(bytes.NewReader(b), model.Params())
 }
 
 // LoadWeights reads weights produced by SaveWeights into params, verifying

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mobiledl/internal/tensor"
+)
+
+// BatcherConfig tunes the request-coalescing policy.
+type BatcherConfig struct {
+	// MaxBatch flushes a batch as soon as this many requests are pending
+	// (default 32).
+	MaxBatch int
+	// MaxDelay is the latency budget: a partial batch flushes this long
+	// after its first request arrived (default 2ms).
+	MaxDelay time.Duration
+	// Workers sizes the execution pool (default GOMAXPROCS).
+	Workers int
+	// QueueCap bounds the submit channel; Submit blocks (or honors its
+	// context) when full (default 4*MaxBatch).
+	QueueCap int
+}
+
+func (c *BatcherConfig) fill() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4 * c.MaxBatch
+	}
+}
+
+// ExecFunc runs one coalesced tensor batch and returns one Result per row.
+type ExecFunc func(batch *tensor.Matrix) ([]Result, error)
+
+type request struct {
+	features []float64
+	enqueued time.Time
+	resp     chan response
+}
+
+type response struct {
+	res Result
+	err error
+}
+
+// Batcher coalesces single-row inference requests into tensor batches: a
+// collector goroutine accumulates requests and flushes on max-batch-size or
+// on the latency-budget timer, whichever fires first; flushed batches feed a
+// worker pool that calls the ExecFunc. One Batcher serves one model runtime.
+type Batcher struct {
+	cfg  BatcherConfig
+	dim  int
+	exec ExecFunc
+
+	in      chan *request
+	batches chan []*request
+
+	mu     sync.RWMutex // guards closed vs in-flight Submit sends
+	closed bool
+	wg     sync.WaitGroup // collector + workers
+
+	stats *collector
+}
+
+// NewBatcher starts the collector and worker pool. dim is the required
+// feature width; exec runs each flushed batch. stats may be nil.
+func NewBatcher(dim int, cfg BatcherConfig, exec ExecFunc, stats *collector) (*Batcher, error) {
+	if dim <= 0 || exec == nil {
+		return nil, fmt.Errorf("%w: batcher needs a positive dim and an exec func", ErrServe)
+	}
+	cfg.fill()
+	b := &Batcher{
+		cfg:     cfg,
+		dim:     dim,
+		exec:    exec,
+		in:      make(chan *request, cfg.QueueCap),
+		batches: make(chan []*request, cfg.Workers),
+		stats:   stats,
+	}
+	b.wg.Add(1 + cfg.Workers)
+	go b.collect()
+	for i := 0; i < cfg.Workers; i++ {
+		go b.worker()
+	}
+	return b, nil
+}
+
+// Submit enqueues one feature row and blocks until its result is ready, the
+// context is done, or the batcher closes.
+func (b *Batcher) Submit(ctx context.Context, features []float64) (Result, error) {
+	if len(features) != b.dim {
+		return Result{}, fmt.Errorf("%w: got %d features, model expects %d", ErrRequest, len(features), b.dim)
+	}
+	r := &request{
+		features: features,
+		enqueued: time.Now(),
+		resp:     make(chan response, 1), // buffered: a worker send never blocks on an abandoned request
+	}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return Result{}, ErrClosed
+	}
+	select {
+	case b.in <- r:
+		b.mu.RUnlock()
+	case <-ctx.Done():
+		b.mu.RUnlock()
+		return Result{}, ctx.Err()
+	}
+	select {
+	case resp := <-r.resp:
+		return resp.res, resp.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Close stops intake, drains pending requests, and waits for workers.
+// Requests still queued are served; Submit after Close returns ErrClosed.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	close(b.in)
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+// collect is the single accumulator loop: it owns the pending slice and the
+// latency-budget timer, so flush decisions need no locking.
+func (b *Batcher) collect() {
+	defer b.wg.Done()
+	var pending []*request
+	var timer *time.Timer
+	var deadline <-chan time.Time
+
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+			deadline = nil
+		}
+		if len(pending) == 0 {
+			return
+		}
+		b.batches <- pending
+		pending = nil
+	}
+
+	for {
+		select {
+		case r, ok := <-b.in:
+			if !ok {
+				flush()
+				close(b.batches)
+				return
+			}
+			pending = append(pending, r)
+			if len(pending) == 1 {
+				timer = time.NewTimer(b.cfg.MaxDelay)
+				deadline = timer.C
+			}
+			if len(pending) >= b.cfg.MaxBatch {
+				flush()
+			}
+		case <-deadline:
+			timer = nil
+			deadline = nil
+			flush()
+		}
+	}
+}
+
+func (b *Batcher) worker() {
+	defer b.wg.Done()
+	for reqs := range b.batches {
+		b.runBatch(reqs)
+	}
+}
+
+func (b *Batcher) runBatch(reqs []*request) {
+	start := time.Now()
+	batch := tensor.New(len(reqs), b.dim)
+	for i, r := range reqs {
+		copy(batch.Row(i), r.features)
+	}
+	results, err := b.exec(batch)
+	if err == nil && len(results) != len(reqs) {
+		err = fmt.Errorf("%w: executor returned %d results for %d rows", ErrServe, len(results), len(reqs))
+	}
+	execMs := float64(time.Since(start).Microseconds()) / 1000
+	if b.stats != nil {
+		b.stats.recordBatch(len(reqs))
+	}
+	for i, r := range reqs {
+		if err != nil {
+			r.resp <- response{err: err}
+			continue
+		}
+		res := results[i]
+		res.BatchSize = len(reqs)
+		res.QueueMs = float64(start.Sub(r.enqueued).Microseconds()) / 1000
+		res.ExecMs = execMs
+		if b.stats != nil {
+			b.stats.recordResult(res)
+		}
+		r.resp <- response{res: res}
+	}
+}

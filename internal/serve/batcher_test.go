@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mobiledl/internal/tensor"
+)
+
+// echoExec returns each row's first feature as its class and records the
+// batch sizes it saw.
+type echoExec struct {
+	mu    sync.Mutex
+	sizes []int
+}
+
+func (e *echoExec) run(batch *tensor.Matrix) ([]Result, error) {
+	e.mu.Lock()
+	e.sizes = append(e.sizes, batch.Rows())
+	e.mu.Unlock()
+	out := make([]Result, batch.Rows())
+	for i := range out {
+		out[i] = Result{Class: int(batch.At(i, 0))}
+	}
+	return out, nil
+}
+
+func (e *echoExec) batchSizes() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]int(nil), e.sizes...)
+}
+
+func TestBatcherFullBatchFlush(t *testing.T) {
+	exec := &echoExec{}
+	// Long MaxDelay: only the size trigger can flush within the test.
+	b, err := NewBatcher(2, BatcherConfig{MaxBatch: 4, MaxDelay: time.Minute, Workers: 1}, exec.run, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	results := make([]Result, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := b.Submit(context.Background(), []float64{float64(i), 0})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res.Class != i {
+			t.Fatalf("row %d answered %d", i, res.Class)
+		}
+		if res.BatchSize != 4 {
+			t.Fatalf("row %d ran in batch of %d, want 4 (size-triggered flush)", i, res.BatchSize)
+		}
+	}
+	if sizes := exec.batchSizes(); len(sizes) != 1 || sizes[0] != 4 {
+		t.Fatalf("executor saw batches %v, want one batch of 4", sizes)
+	}
+}
+
+func TestBatcherTimeoutFlush(t *testing.T) {
+	exec := &echoExec{}
+	b, err := NewBatcher(1, BatcherConfig{MaxBatch: 64, MaxDelay: 5 * time.Millisecond}, exec.run, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	start := time.Now()
+	res, err := b.Submit(context.Background(), []float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != 7 || res.BatchSize != 1 {
+		t.Fatalf("got class=%d batch=%d, want a timed-out singleton batch", res.Class, res.BatchSize)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("flushed after %v, before the %v latency budget", elapsed, 5*time.Millisecond)
+	}
+	// The timer must re-arm for the next partial batch.
+	if _, err := b.Submit(context.Background(), []float64{8}); err != nil {
+		t.Fatal(err)
+	}
+	if sizes := exec.batchSizes(); len(sizes) != 2 {
+		t.Fatalf("executor saw batches %v, want two timeout flushes", sizes)
+	}
+}
+
+func TestBatcherValidationAndClose(t *testing.T) {
+	exec := &echoExec{}
+	b, err := NewBatcher(3, BatcherConfig{MaxBatch: 2, MaxDelay: time.Millisecond}, exec.run, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Submit(context.Background(), []float64{1}); !errors.Is(err, ErrRequest) {
+		t.Fatalf("dim mismatch: %v", err)
+	}
+	if _, err := b.Submit(context.Background(), []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	b.Close() // idempotent
+	if _, err := b.Submit(context.Background(), []float64{1, 2, 3}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+func TestBatcherExecErrorFansOut(t *testing.T) {
+	boom := errors.New("boom")
+	b, err := NewBatcher(1, BatcherConfig{MaxBatch: 2, MaxDelay: time.Minute, Workers: 1},
+		func(*tensor.Matrix) ([]Result, error) { return nil, boom }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var wg sync.WaitGroup
+	var failures atomic.Int32
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Submit(context.Background(), []float64{1}); errors.Is(err, boom) {
+				failures.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if failures.Load() != 2 {
+		t.Fatalf("%d of 2 submitters saw the executor error", failures.Load())
+	}
+}
+
+func TestBatcherContextCancel(t *testing.T) {
+	block := make(chan struct{})
+	b, err := NewBatcher(1, BatcherConfig{MaxBatch: 1, MaxDelay: time.Millisecond, Workers: 1},
+		func(m *tensor.Matrix) ([]Result, error) {
+			<-block
+			return make([]Result, m.Rows()), nil
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(ctx, []float64{1})
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled submit: %v", err)
+	}
+	close(block)
+	b.Close()
+}

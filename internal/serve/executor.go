@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mobiledl/internal/mobile"
+	"mobiledl/internal/tensor"
+)
+
+// ExecutorConfig wires an executor to a model source and a simulated
+// device/network environment.
+type ExecutorConfig struct {
+	// Source yields the model version to run a batch against; hot swaps
+	// take effect at the next batch boundary.
+	Source func() (*Loaded, error)
+	// Device, Cloud, and Net parameterize the placement cost model
+	// (defaults: midrange phone, cloud server, WiFi).
+	Device mobile.Device
+	Cloud  mobile.Device
+	Net    mobile.Network
+	// Seed seeds the perturbation RNG for offloaded split rows.
+	Seed int64
+	// SleepNet, when set, makes the executor actually sleep the modeled
+	// transfer time instead of only reporting it — for demos that want
+	// wall-clock realism. Benchmarks and tests leave it off.
+	SleepNet bool
+}
+
+// Executor runs coalesced batches. Per batch it re-reads the current model
+// version, consults the placement cost model for the cheapest feasible
+// strategy the servable supports, and executes that path:
+//
+//   - plain model, local placement: one forward pass, no traffic
+//   - plain model, cloud placement: one forward pass plus the modeled
+//     raw-input uplink and result downlink per row
+//   - cascade, split placement: device-side transform + early-exit check;
+//     rows that clear the confidence threshold short-circuit (no upload),
+//     the rest are perturbed and finished by the cloud half
+//   - cascade, local placement: the whole cascade runs on-device (offline
+//     networks force this), so no perturbation and no traffic
+type Executor struct {
+	cfg ExecutorConfig
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewExecutor validates the config and applies environment defaults.
+func NewExecutor(cfg ExecutorConfig) (*Executor, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("%w: executor needs a model source", ErrServe)
+	}
+	if cfg.Device.MACsPerSec == 0 {
+		cfg.Device = mobile.MidrangePhone()
+	}
+	if cfg.Cloud.MACsPerSec == 0 {
+		cfg.Cloud = mobile.CloudServer()
+	}
+	if cfg.Net.Kind == 0 {
+		cfg.Net = mobile.WiFiNetwork()
+	}
+	return &Executor{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Execute implements ExecFunc.
+func (e *Executor) Execute(batch *tensor.Matrix) ([]Result, error) {
+	loaded, err := e.cfg.Source()
+	if err != nil {
+		return nil, err
+	}
+	s := loaded.Servable
+	plan, err := e.choosePlacement(loaded)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	if s.Net != nil {
+		results, err = e.runPlain(s, plan, batch)
+	} else {
+		results, err = e.runCascade(s, plan, batch)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var maxNet float64
+	for i := range results {
+		results[i].Placement = plan.Placement
+		results[i].ModelVersion = loaded.Version
+		if results[i].SimNetMs > maxNet {
+			maxNet = results[i].SimNetMs
+		}
+	}
+	if e.cfg.SleepNet && maxNet > 0 {
+		time.Sleep(time.Duration(maxNet * float64(time.Millisecond)))
+	}
+	return results, nil
+}
+
+// choosePlacement consults the placement cost model for the strategy the
+// servable executes this batch under. Plain models take the cheaper feasible
+// of local vs cloud. Cascades are split deployments by construction — the
+// deep half lives in the cloud and the perturbation calibration assumes
+// offloading — so they serve under the split placement whenever it is
+// feasible and fall back to fully-local execution (e.g. offline) otherwise.
+func (e *Executor) choosePlacement(loaded *Loaded) (mobile.PlanCost, error) {
+	plans := mobile.ComparePlacements(e.cfg.Device, e.cfg.Cloud, e.cfg.Net, loaded.workload)
+	if loaded.Servable.Cascade != nil {
+		for _, want := range []mobile.Placement{mobile.PlaceSplit, mobile.PlaceLocal} {
+			for _, p := range plans {
+				if p.Feasible && p.Placement == want {
+					return p, nil
+				}
+			}
+		}
+	} else {
+		for _, p := range plans { // sorted feasible-first, cheapest-first
+			if p.Feasible && (p.Placement == mobile.PlaceLocal || p.Placement == mobile.PlaceCloud) {
+				return p, nil
+			}
+		}
+	}
+	return mobile.PlanCost{}, fmt.Errorf("%w: no feasible placement (network %s)", ErrServe, e.cfg.Net.Kind)
+}
+
+func (e *Executor) runPlain(s *Servable, plan mobile.PlanCost, batch *tensor.Matrix) ([]Result, error) {
+	preds, err := s.Net.Predict(batch)
+	if err != nil {
+		return nil, err
+	}
+	var netMs float64
+	if plan.Placement == mobile.PlaceCloud {
+		netMs, err = e.transferMs(plan.UpBytes, plan.DownBytes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	results := make([]Result, len(preds))
+	for i, c := range preds {
+		results[i] = Result{Class: c, SimNetMs: netMs}
+	}
+	return results, nil
+}
+
+func (e *Executor) runCascade(s *Servable, plan mobile.PlanCost, batch *tensor.Matrix) ([]Result, error) {
+	cascade := s.Cascade
+	rep, err := cascade.Pipeline.TransformClean(batch)
+	if err != nil {
+		return nil, err
+	}
+	if plan.Placement == mobile.PlaceLocal {
+		// Whole cascade on-device: the cloud half runs locally for the
+		// unconfident rows, with no perturbation and no traffic. Local is
+		// still "answered by the early exit", so unconfident rows report
+		// Local=false even though they never left the device.
+		preds, offload, err := cascade.ExitLocally(rep)
+		if err != nil {
+			return nil, err
+		}
+		results := make([]Result, len(preds))
+		for i, c := range preds {
+			results[i] = Result{Class: c, Local: true}
+		}
+		if len(offload) > 0 {
+			sub, err := rep.SelectRows(offload)
+			if err != nil {
+				return nil, err
+			}
+			cloudPreds, err := cascade.Pipeline.Cloud.Predict(sub)
+			if err != nil {
+				return nil, err
+			}
+			for k, i := range offload {
+				results[i] = Result{Class: cloudPreds[k], Local: false}
+			}
+		}
+		return results, nil
+	}
+
+	// Split placement: early exit short-circuits confident rows on-device;
+	// only the rest pay the (perturbed) upload and the cloud pass.
+	preds, offload, err := cascade.ExitLocally(rep)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(preds))
+	for i, c := range preds {
+		results[i] = Result{Class: c, Local: true}
+	}
+	if len(offload) == 0 {
+		return results, nil
+	}
+	sub, err := rep.SelectRows(offload)
+	if err != nil {
+		return nil, err
+	}
+	e.rngMu.Lock()
+	cloudPreds, err := cascade.Pipeline.CloudPredictRep(e.rng, sub)
+	e.rngMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	netMs, err := e.transferMs(plan.UpBytes, plan.DownBytes)
+	if err != nil {
+		return nil, err
+	}
+	for k, i := range offload {
+		results[i] = Result{Class: cloudPreds[k], Local: false, SimNetMs: netMs}
+	}
+	return results, nil
+}
+
+// transferMs models one row's round trip: upload upBytes, download
+// downBytes on the configured network.
+func (e *Executor) transferMs(upBytes, downBytes int64) (float64, error) {
+	up, err := e.cfg.Net.TransferMillis(upBytes, true)
+	if err != nil {
+		return 0, err
+	}
+	down, err := e.cfg.Net.TransferMillis(downBytes, false)
+	if err != nil {
+		return 0, err
+	}
+	return up + down, nil
+}

@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobiledl/internal/compress"
+	"mobiledl/internal/mobile"
+	"mobiledl/internal/nn"
+)
+
+// Factory builds a fresh, architecture-complete (but untrained) instance of
+// a servable. Architectures are code, not data: the registry stores
+// factories and moves only weights, so a weight blob from a mismatched
+// architecture fails loudly at load time.
+type Factory func() (*Servable, error)
+
+// Loaded is one immutable installed version of a model. Executors grab a
+// *Loaded per batch; hot swaps install a new one without disturbing batches
+// already running against the old.
+type Loaded struct {
+	Name     string
+	Version  int
+	Servable *Servable
+	// Sizes is set when the model went through the compression pipeline.
+	Sizes    *compress.StageSizes
+	Params   int
+	LoadedAt time.Time
+	// workload is the per-sample placement-planning workload, computed once
+	// at install time so the per-batch hot path doesn't rebuild it.
+	workload mobile.Workload
+}
+
+// ModelInfo is the registry listing entry for the /v1/models endpoint.
+type ModelInfo struct {
+	Name       string    `json:"name"`
+	Version    int       `json:"version"`
+	Kind       string    `json:"kind"` // "plain" or "cascade"
+	Params     int       `json:"params"`
+	Compressed bool      `json:"compressed"`
+	Ratio      float64   `json:"compression_ratio,omitempty"`
+	LoadedAt   time.Time `json:"loaded_at"`
+}
+
+type regEntry struct {
+	factory Factory
+	writeMu sync.Mutex // serializes installs; version is guarded by it
+	version int
+	cur     atomic.Pointer[Loaded]
+}
+
+// Registry names, versions, and hot-swaps servable models. Register/Load/
+// Install take a write path guarded per entry; Get is a lock-free atomic
+// load so the serving hot path never contends with swaps.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*regEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*regEntry)}
+}
+
+// Register declares a model name and its architecture factory. Registering
+// an existing name is an error (architectures are fixed per name; new
+// weights arrive via Load).
+func (r *Registry) Register(name string, factory Factory) error {
+	if name == "" || factory == nil {
+		return fmt.Errorf("%w: register needs a name and factory", ErrServe)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return fmt.Errorf("%w: model %q already registered", ErrServe, name)
+	}
+	r.entries[name] = &regEntry{factory: factory}
+	return nil
+}
+
+func (r *Registry) entry(name string) (*regEntry, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: model %q not registered", ErrServe, name)
+	}
+	return e, nil
+}
+
+// Load builds a fresh instance from the factory, reads a SaveWeights blob
+// into it, and atomically installs it as the new current version. In-flight
+// batches keep the version they started with.
+func (r *Registry) Load(name string, weights io.Reader) (int, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return 0, err
+	}
+	s, err := r.build(e)
+	if err != nil {
+		return 0, err
+	}
+	if err := nn.LoadWeights(weights, s.Params()); err != nil {
+		return 0, fmt.Errorf("serve: load %q: %w", name, err)
+	}
+	return r.install(e, name, s, nil)
+}
+
+// LoadCompressed loads weights like Load, then pushes the model through the
+// Deep Compression pipeline and installs the reconstructed (pruned +
+// quantized) network, recording the stage sizes. Only plain models compress;
+// cascades keep their privacy-calibrated halves intact.
+func (r *Registry) LoadCompressed(name string, weights io.Reader, cfg compress.PipelineConfig) (int, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return 0, err
+	}
+	s, err := r.build(e)
+	if err != nil {
+		return 0, err
+	}
+	if s.Net == nil {
+		return 0, fmt.Errorf("%w: model %q is a cascade; compression serves plain models only", ErrServe, name)
+	}
+	if err := nn.LoadWeights(weights, s.Params()); err != nil {
+		return 0, fmt.Errorf("serve: load %q: %w", name, err)
+	}
+	res, err := compress.RunPipeline(s.Net, cfg)
+	if err != nil {
+		return 0, fmt.Errorf("serve: compress %q: %w", name, err)
+	}
+	return r.install(e, name, &Servable{Net: res.Model}, &res.Sizes)
+}
+
+// Install registers name on first use (with no factory) and installs an
+// already-built servable directly — the path for models trained in-process.
+// Subsequent Installs under the same name hot-swap and bump the version.
+func (r *Registry) Install(name string, s *Servable) (int, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if name == "" {
+		return 0, fmt.Errorf("%w: install needs a name", ErrServe)
+	}
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if !ok {
+		e = &regEntry{}
+		r.entries[name] = e
+	}
+	r.mu.Unlock()
+	return r.install(e, name, s, nil)
+}
+
+// Get returns the current version of a model; lock-free after the map read.
+func (r *Registry) Get(name string) (*Loaded, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	l := e.cur.Load()
+	if l == nil {
+		return nil, fmt.Errorf("%w: model %q registered but no weights loaded", ErrServe, name)
+	}
+	return l, nil
+}
+
+// Snapshot lists all models with a loaded version, sorted by name.
+func (r *Registry) Snapshot() []ModelInfo {
+	r.mu.RLock()
+	loaded := make([]*Loaded, 0, len(r.entries))
+	for _, e := range r.entries {
+		if l := e.cur.Load(); l != nil {
+			loaded = append(loaded, l)
+		}
+	}
+	r.mu.RUnlock()
+	infos := make([]ModelInfo, 0, len(loaded))
+	for _, l := range loaded {
+		info := ModelInfo{
+			Name: l.Name, Version: l.Version, Kind: "plain",
+			Params: l.Params, LoadedAt: l.LoadedAt,
+		}
+		if l.Servable.Cascade != nil {
+			info.Kind = "cascade"
+		}
+		if l.Sizes != nil {
+			info.Compressed = true
+			info.Ratio = l.Sizes.Ratio()
+		}
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// Checkpoint serializes the current weights of a model, the blob Load
+// accepts — Checkpoint-then-Load round-trips a hot swap.
+func (r *Registry) Checkpoint(name string) ([]byte, error) {
+	l, err := r.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return nn.EncodeWeights(l.Servable)
+}
+
+func (r *Registry) build(e *regEntry) (*Servable, error) {
+	if e.factory == nil {
+		return nil, fmt.Errorf("%w: model has no architecture factory (Install-only)", ErrServe)
+	}
+	s, err := e.factory()
+	if err != nil {
+		return nil, fmt.Errorf("serve: factory: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// install atomically publishes a new version. It refuses swaps that change
+// the served interface (input width or class count): the batcher's feature
+// dim is fixed at runtime construction, so such a swap would fail every
+// subsequent request instead of failing the swap.
+func (r *Registry) install(e *regEntry, name string, s *Servable, sizes *compress.StageSizes) (int, error) {
+	newIn, err := s.InputDim()
+	if err != nil {
+		return 0, err
+	}
+	newClasses, err := s.Classes()
+	if err != nil {
+		return 0, err
+	}
+	w, err := s.workload()
+	if err != nil {
+		return 0, err
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if cur := e.cur.Load(); cur != nil {
+		curIn, err1 := cur.Servable.InputDim()
+		curClasses, err2 := cur.Servable.Classes()
+		if err1 == nil && err2 == nil && (curIn != newIn || curClasses != newClasses) {
+			return 0, fmt.Errorf("%w: hot swap for %q changes interface %d->%d inputs, %d->%d classes",
+				ErrServe, name, curIn, newIn, curClasses, newClasses)
+		}
+	}
+	e.version++
+	e.cur.Store(&Loaded{
+		Name: name, Version: e.version, Servable: s, Sizes: sizes,
+		Params: nn.NumParams(s.Params()), LoadedAt: time.Now(),
+		workload: w,
+	})
+	return e.version, nil
+}

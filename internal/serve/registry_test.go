@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mobiledl/internal/compress"
+	"mobiledl/internal/nn"
+	"mobiledl/internal/split"
+)
+
+// mlpFactory returns a Factory for a fixed small architecture; each call
+// yields fresh (seeded) weights so loads must come from the blob.
+func mlpFactory(seed int64) Factory {
+	return func() (*Servable, error) {
+		rng := rand.New(rand.NewSource(seed))
+		net := nn.NewSequential(
+			nn.NewDense(rng, 8, 16), nn.NewReLU(),
+			nn.NewDense(rng, 16, 4),
+		)
+		return &Servable{Net: net}, nil
+	}
+}
+
+func cascadeFactory(seed int64) Factory {
+	return func() (*Servable, error) {
+		rng := rand.New(rand.NewSource(seed))
+		local := nn.NewSequential(nn.NewDense(rng, 8, 6), nn.NewTanh())
+		cloud := nn.NewSequential(nn.NewDense(rng, 6, 12), nn.NewReLU(), nn.NewDense(rng, 12, 4))
+		exit := nn.NewSequential(nn.NewDense(rng, 6, 4))
+		p, err := split.New(split.Config{Local: local, Cloud: cloud, NullRate: 0.1, NoiseSigma: 0.5, Bound: 2})
+		if err != nil {
+			return nil, err
+		}
+		ee, err := split.NewEarlyExit(p, exit, 0.9)
+		if err != nil {
+			return nil, err
+		}
+		return &Servable{Cascade: ee}, nil
+	}
+}
+
+func TestRegistryLoadHotSwapRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register("mlp", mlpFactory(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get("mlp"); err == nil {
+		t.Fatal("Get before Load should fail")
+	}
+
+	// Author a "trained" model out of band and serialize it.
+	src, err := mlpFactory(99)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := nn.EncodeWeights(src.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v1, err := reg.Load("mlp", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != 1 {
+		t.Fatalf("first load: version %d, want 1", v1)
+	}
+	got, err := reg.Get("mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loaded weights must equal the source, not the factory seed's.
+	srcW := src.Net.Params()[0].Value
+	gotW := got.Servable.Net.Params()[0].Value
+	if !gotW.Equal(srcW, 0) {
+		t.Fatal("loaded weights differ from serialized source")
+	}
+
+	// Hot swap: perturb the source, checkpoint, load again.
+	src.Net.Params()[0].Value.Fill(0.125)
+	blob2, err := nn.EncodeWeights(src.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := reg.Load("mlp", bytes.NewReader(blob2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != 2 {
+		t.Fatalf("second load: version %d, want 2", v2)
+	}
+	swapped, err := reg.Get("mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapped.Servable.Net.Params()[0].Value.At(0, 0) != 0.125 {
+		t.Fatal("hot swap did not install new weights")
+	}
+	// The pre-swap snapshot is immutable and still serves.
+	if got.Version != 1 || got.Servable.Net.Params()[0].Value.At(0, 0) == 0.125 {
+		t.Fatal("old loaded version was mutated by the swap")
+	}
+
+	// Checkpoint of the current version round-trips through Load.
+	ck, err := reg.Checkpoint("mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Load("mlp", bytes.NewReader(ck)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryCascadeRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register("cascade", cascadeFactory(3)); err != nil {
+		t.Fatal(err)
+	}
+	src, err := cascadeFactory(42)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := nn.SaveWeights(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Load("cascade", &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := reg.Get("cascade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := src.Cascade.Exit.Params()[0].Value
+	have := got.Servable.Cascade.Exit.Params()[0].Value
+	if !have.Equal(want, 0) {
+		t.Fatal("cascade exit weights did not round-trip")
+	}
+	if got.Servable.Cascade == nil || got.Servable.Net != nil {
+		t.Fatal("cascade servable shape lost in load")
+	}
+}
+
+func TestRegistryLoadCompressed(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register("mlp", mlpFactory(1)); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := mlpFactory(7)()
+	blob, err := nn.EncodeWeights(src.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := reg.LoadCompressed("mlp", bytes.NewReader(blob),
+		compress.PipelineConfig{Sparsity: 0.5, Bits: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("version %d, want 1", v)
+	}
+	got, err := reg.Get("mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sizes == nil || got.Sizes.Ratio() <= 1 {
+		t.Fatalf("compressed load should record a >1x ratio, got %+v", got.Sizes)
+	}
+	infos := reg.Snapshot()
+	if len(infos) != 1 || !infos[0].Compressed || infos[0].Kind != "plain" {
+		t.Fatalf("snapshot: %+v", infos)
+	}
+
+	// Cascades refuse compression.
+	if err := reg.Register("cascade", cascadeFactory(3)); err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := cascadeFactory(3)()
+	var buf bytes.Buffer
+	if err := nn.SaveWeights(&buf, cs.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.LoadCompressed("cascade", &buf, compress.PipelineConfig{Sparsity: 0.5, Bits: 4}); !errors.Is(err, ErrServe) {
+		t.Fatalf("cascade compression: err=%v, want ErrServe", err)
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register("", nil); !errors.Is(err, ErrServe) {
+		t.Fatalf("empty register: %v", err)
+	}
+	if err := reg.Register("m", mlpFactory(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("m", mlpFactory(1)); !errors.Is(err, ErrServe) {
+		t.Fatalf("duplicate register: %v", err)
+	}
+	if _, err := reg.Load("nope", bytes.NewReader(nil)); !errors.Is(err, ErrServe) {
+		t.Fatalf("load unknown: %v", err)
+	}
+	// Wrong-architecture blob fails loudly.
+	other, _ := cascadeFactory(1)()
+	var buf bytes.Buffer
+	if err := nn.SaveWeights(&buf, other.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Load("m", &buf); err == nil {
+		t.Fatal("mismatched architecture should fail to load")
+	}
+	// Install-only entries have no factory to Load through.
+	s, _ := mlpFactory(2)()
+	if _, err := reg.Install("direct", s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Load("direct", bytes.NewReader(nil)); !errors.Is(err, ErrServe) {
+		t.Fatalf("load without factory: %v", err)
+	}
+	if _, err := reg.Install("bad", &Servable{}); !errors.Is(err, ErrServe) {
+		t.Fatalf("install invalid servable: %v", err)
+	}
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mobiledl/internal/mobile"
+)
+
+// RuntimeConfig wires one registered model into a serving runtime.
+type RuntimeConfig struct {
+	// Registry and Model name the servable; the model must already have a
+	// loaded version (its input width fixes the batcher's feature dim).
+	Registry *Registry
+	Model    string
+	// Batch tunes the adaptive batcher.
+	Batch BatcherConfig
+	// Device, Cloud, Net, Seed, and SleepNet parameterize the executor's
+	// simulated environment (zero values take executor defaults).
+	Device   mobile.Device
+	Cloud    mobile.Device
+	Net      mobile.Network
+	Seed     int64
+	SleepNet bool
+}
+
+// Runtime is the served form of one model: an executor fed by an adaptive
+// batcher, reading the registry's current version at every batch boundary
+// so hot swaps apply without a restart.
+type Runtime struct {
+	name     string
+	reg      *Registry
+	batcher  *Batcher
+	exec     *Executor
+	stats    *collector
+	maxBatch int
+	sleepNet bool
+}
+
+// NewRuntime builds and starts a runtime (its worker pool runs until Close).
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
+	if cfg.Registry == nil || cfg.Model == "" {
+		return nil, fmt.Errorf("%w: runtime needs a registry and model name", ErrServe)
+	}
+	loaded, err := cfg.Registry.Get(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	dim, err := loaded.Servable.InputDim()
+	if err != nil {
+		return nil, err
+	}
+	exec, err := NewExecutor(ExecutorConfig{
+		Source:   func() (*Loaded, error) { return cfg.Registry.Get(cfg.Model) },
+		Device:   cfg.Device,
+		Cloud:    cfg.Cloud,
+		Net:      cfg.Net,
+		Seed:     cfg.Seed,
+		SleepNet: cfg.SleepNet,
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats := newCollector()
+	batcher, err := NewBatcher(dim, cfg.Batch, exec.Execute, stats)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{
+		name:     cfg.Model,
+		reg:      cfg.Registry,
+		batcher:  batcher,
+		exec:     exec,
+		stats:    stats,
+		maxBatch: batcher.cfg.MaxBatch,
+		sleepNet: cfg.SleepNet,
+	}, nil
+}
+
+// Name returns the served model's registry name.
+func (rt *Runtime) Name() string { return rt.name }
+
+// Predict serves one feature row through the batcher and executor,
+// recording end-to-end latency. The modeled network time is added on top of
+// the measured wall time unless the executor already slept it.
+func (rt *Runtime) Predict(ctx context.Context, features []float64) (Result, error) {
+	start := time.Now()
+	res, err := rt.batcher.Submit(ctx, features)
+	if err != nil {
+		return Result{}, err
+	}
+	totalMs := float64(time.Since(start).Microseconds()) / 1000
+	if !rt.sleepNet {
+		totalMs += res.SimNetMs
+	}
+	rt.stats.recordRequest(totalMs)
+	return res, nil
+}
+
+// Stats snapshots the runtime's serving counters.
+func (rt *Runtime) Stats() Stats { return rt.stats.snapshot(rt.maxBatch) }
+
+// Close drains in-flight requests and stops the worker pool.
+func (rt *Runtime) Close() { rt.batcher.Close() }

@@ -1,0 +1,141 @@
+// Package serve is the concurrent model-serving runtime over the paper's
+// algorithmic pieces: a versioned model registry with lock-free hot swap
+// (reusing internal/nn serialization and the internal/compress pipeline), an
+// adaptive request batcher that coalesces inference requests into tensor
+// batches under a latency budget, and a split-aware executor that consults
+// internal/mobile placement costs per batch and — for split deployments —
+// runs the device-side layers, checks the on-device early exit, and finishes
+// only the unconfident rows cloud-side through internal/split, simulating
+// the uplink in between. The registry -> batcher -> executor seam is where
+// future scaling work (sharding, caching, alternate backends) plugs in.
+//
+// A Runtime wires the three together for one registered model; Server
+// exposes any number of runtimes over HTTP/JSON (POST /v1/predict,
+// GET /v1/stats, GET /v1/models) with p50/p99 latency, throughput, and
+// batch-occupancy stats backed by internal/metrics.
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"mobiledl/internal/mobile"
+	"mobiledl/internal/nn"
+	"mobiledl/internal/split"
+)
+
+// ErrServe reports invalid serving configurations or server-side faults.
+var ErrServe = errors.New("serve: invalid configuration")
+
+// ErrRequest reports a malformed client request (e.g. wrong feature width);
+// the HTTP layer maps it to 400 where ErrServe maps to 500.
+var ErrRequest = errors.New("serve: invalid request")
+
+// ErrClosed is returned by Submit/Predict after the runtime has shut down.
+var ErrClosed = errors.New("serve: runtime closed")
+
+// Servable is one deployable model: either a plain network served whole
+// (Net) or a split/early-exit cascade (Cascade) whose local half runs
+// "on-device" and whose cloud half serves offloaded rows. Exactly one of
+// the two must be set.
+type Servable struct {
+	Net     *nn.Sequential
+	Cascade *split.EarlyExit
+}
+
+// Validate checks the exactly-one-of invariant.
+func (s *Servable) Validate() error {
+	if s == nil || (s.Net == nil) == (s.Cascade == nil) {
+		return fmt.Errorf("%w: servable needs exactly one of Net or Cascade", ErrServe)
+	}
+	return nil
+}
+
+// Params returns the servable's full parameter list in a fixed order (for a
+// cascade: local, cloud, exit) — the unit that SaveWeights/LoadWeights
+// round-trips through the registry.
+func (s *Servable) Params() []*nn.Param {
+	if s.Net != nil {
+		return s.Net.Params()
+	}
+	var ps []*nn.Param
+	ps = append(ps, s.Cascade.Pipeline.Local.Params()...)
+	ps = append(ps, s.Cascade.Pipeline.Cloud.Params()...)
+	ps = append(ps, s.Cascade.Exit.Params()...)
+	return ps
+}
+
+// InputDim returns the feature width the servable expects (the In of its
+// first Dense layer), or an error for architectures without one.
+func (s *Servable) InputDim() (int, error) {
+	net := s.Net
+	if net == nil {
+		net = s.Cascade.Pipeline.Local
+	}
+	for _, l := range net.Layers() {
+		if d, ok := l.(*nn.Dense); ok {
+			return d.In(), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: model has no dense layer to infer input width", ErrServe)
+}
+
+// Classes returns the output width (the Out of the last Dense layer of the
+// cloud-side or whole network).
+func (s *Servable) Classes() (int, error) {
+	net := s.Net
+	if net == nil {
+		net = s.Cascade.Pipeline.Cloud
+	}
+	classes := 0
+	for _, l := range net.Layers() {
+		if d, ok := l.(*nn.Dense); ok {
+			classes = d.Out()
+		}
+	}
+	if classes == 0 {
+		return 0, fmt.Errorf("%w: model has no dense layer to infer class count", ErrServe)
+	}
+	return classes, nil
+}
+
+// workload derives the per-sample placement-planning workload for the
+// servable (device share and upload payload filled in for cascades).
+func (s *Servable) workload() (mobile.Workload, error) {
+	in, err := s.InputDim()
+	if err != nil {
+		return mobile.Workload{}, err
+	}
+	classes, err := s.Classes()
+	if err != nil {
+		return mobile.Workload{}, err
+	}
+	if s.Net != nil {
+		return mobile.WorkloadFor(s.Net, nil, in, classes, 0), nil
+	}
+	p := s.Cascade.Pipeline
+	full := nn.NewSequential(append(append([]nn.Layer{}, p.Local.Layers()...), p.Cloud.Layers()...)...)
+	return mobile.WorkloadFor(full, p.Local, in, classes, p.RepDim(in)), nil
+}
+
+// Result is the answer to one inference request.
+type Result struct {
+	// Class is the predicted label.
+	Class int
+	// Local reports whether the row was answered by the on-device early
+	// exit (always false for plain models).
+	Local bool
+	// Placement is the execution strategy the batch ran under.
+	Placement mobile.Placement
+	// ModelVersion is the registry version that served the request.
+	ModelVersion int
+	// BatchSize is how many requests shared the tensor batch.
+	BatchSize int
+	// QueueMs is time spent waiting for the batch to form.
+	QueueMs float64
+	// ExecMs is compute time inside the executor.
+	ExecMs float64
+	// SimNetMs is the modeled device<->cloud transfer latency for this row
+	// (zero for rows answered locally).
+	SimNetMs float64
+}

@@ -1,0 +1,362 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mobiledl/internal/mobile"
+	"mobiledl/internal/nn"
+)
+
+func newPlainRuntime(t *testing.T, reg *Registry, name string, batch BatcherConfig) *Runtime {
+	t.Helper()
+	rt, err := NewRuntime(RuntimeConfig{Registry: reg, Model: name, Batch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func TestRuntimeConcurrentLoadWithHotSwap(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register("mlp", mlpFactory(1)); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := mlpFactory(11)()
+	blob, err := nn.EncodeWeights(src.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Load("mlp", bytes.NewReader(blob)); err != nil {
+		t.Fatal(err)
+	}
+	rt := newPlainRuntime(t, reg, "mlp", BatcherConfig{MaxBatch: 16, MaxDelay: time.Millisecond})
+
+	// >= 64 concurrent in-flight requests while the model hot-swaps twice.
+	const clients, perClient = 64, 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for k := 0; k < perClient; k++ {
+				feats := make([]float64, 8)
+				for j := range feats {
+					feats[j] = rng.NormFloat64()
+				}
+				if _, err := rt.Predict(context.Background(), feats); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	swapped := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := 0
+		for i := 0; i < 2; i++ {
+			time.Sleep(time.Millisecond)
+			s, _ := mlpFactory(int64(20 + i))()
+			v, err := reg.Install("mlp", s)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			last = v
+		}
+		swapped <- last
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if v := <-swapped; v != 3 {
+		t.Fatalf("expected 2 swaps on top of v1, got final version %d", v)
+	}
+
+	st := rt.Stats()
+	if st.Requests != clients*perClient {
+		t.Fatalf("stats counted %d requests, want %d", st.Requests, clients*perClient)
+	}
+	if st.Batches == 0 || st.BatchOccupancy < 1 {
+		t.Fatalf("implausible batching stats: %+v", st)
+	}
+	if st.LatencyMs.P50 <= 0 || st.LatencyMs.P99 < st.LatencyMs.P50 {
+		t.Fatalf("implausible latency summary: %+v", st.LatencyMs)
+	}
+}
+
+func TestCascadeEarlyExitShortCircuit(t *testing.T) {
+	mk := func(threshold float64) *Runtime {
+		s, err := cascadeFactory(5)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Cascade.Threshold = threshold
+		reg := NewRegistry()
+		if _, err := reg.Install("cascade", s); err != nil {
+			t.Fatal(err)
+		}
+		rt, err := NewRuntime(RuntimeConfig{
+			Registry: reg, Model: "cascade",
+			Batch: BatcherConfig{MaxBatch: 8, MaxDelay: time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(rt.Close)
+		return rt
+	}
+
+	feats := []float64{1, -1, 0.5, 0.25, -0.5, 2, -2, 1}
+
+	// Threshold 0: every row clears the exit, the whole batch short-circuits
+	// on-device — no offloads, no simulated traffic.
+	rt := mk(0)
+	res, err := rt.Predict(context.Background(), feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Local || res.SimNetMs != 0 {
+		t.Fatalf("threshold 0 should exit locally with no traffic: %+v", res)
+	}
+	if res.Placement != mobile.PlaceSplit {
+		t.Fatalf("cascade on WiFi should serve under the split placement, got %s", res.Placement)
+	}
+	st := rt.Stats()
+	if st.Offloads != 0 || st.LocalExitFraction != 1 {
+		t.Fatalf("short-circuited batch still offloaded: %+v", st)
+	}
+
+	// Threshold 1: softmax confidence is strictly below 1, so every row
+	// offloads through the perturbed cloud half and pays the uplink.
+	rt = mk(1)
+	res, err = rt.Predict(context.Background(), feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Local || res.SimNetMs <= 0 {
+		t.Fatalf("threshold 1 should offload with simulated traffic: %+v", res)
+	}
+	if got := rt.Stats(); got.LocalExits != 0 || got.Offloads != 1 {
+		t.Fatalf("offload accounting: %+v", got)
+	}
+}
+
+func TestCascadeOfflineFallsBackToLocal(t *testing.T) {
+	s, err := cascadeFactory(5)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cascade.Threshold = 1 // would offload everything if a network existed
+	reg := NewRegistry()
+	if _, err := reg.Install("cascade", s); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(RuntimeConfig{
+		Registry: reg, Model: "cascade",
+		Batch: BatcherConfig{MaxBatch: 4, MaxDelay: time.Millisecond},
+		Net:   mobile.OfflineNetwork(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	res, err := rt.Predict(context.Background(), []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 1 means the exit never answers (Local=false), but offline
+	// the cloud half runs on-device: local placement, zero traffic.
+	if res.Placement != mobile.PlaceLocal || res.Local || res.SimNetMs != 0 {
+		t.Fatalf("offline cascade must run fully on-device: %+v", res)
+	}
+	if st := rt.Stats(); st.Offloads != 0 || st.LocalExits != 0 {
+		t.Fatalf("on-device rows must count as neither exits nor offloads: %+v", st)
+	}
+}
+
+// TestConcurrentWorkersShareModel pins down that inference on a shared model
+// is race-free: MaxBatch 1 with a wide worker pool maximizes overlapping
+// Forward calls on the same layers (go test -race is the arbiter).
+func TestConcurrentWorkersShareModel(t *testing.T) {
+	reg := NewRegistry()
+	s, _ := mlpFactory(13)()
+	if _, err := reg.Install("mlp", s); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(RuntimeConfig{
+		Registry: reg, Model: "mlp",
+		Batch: BatcherConfig{MaxBatch: 1, MaxDelay: time.Millisecond, Workers: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	var wg sync.WaitGroup
+	for c := 0; c < 32; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			feats := make([]float64, 8)
+			feats[c%8] = 1
+			for k := 0; k < 8; k++ {
+				if _, err := rt.Predict(context.Background(), feats); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestHotSwapRejectsInterfaceChange(t *testing.T) {
+	reg := NewRegistry()
+	s, _ := mlpFactory(1)()
+	if _, err := reg.Install("m", s); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	narrow := nn.NewSequential(nn.NewDense(rng, 4, 4))
+	if _, err := reg.Install("m", &Servable{Net: narrow}); err == nil {
+		t.Fatal("swap changing input width must be rejected")
+	}
+	if got, _ := reg.Get("m"); got.Version != 1 {
+		t.Fatalf("rejected swap must leave version 1 current, got v%d", got.Version)
+	}
+}
+
+func TestPlainPlacementFollowsCostModel(t *testing.T) {
+	// A big model on a slow device offloads to the cloud; verify the
+	// executor both picks that placement and bills the simulated transfer.
+	rng := rand.New(rand.NewSource(2))
+	big := nn.NewSequential(
+		nn.NewDense(rng, 8, 512), nn.NewReLU(),
+		nn.NewDense(rng, 512, 512), nn.NewReLU(),
+		nn.NewDense(rng, 512, 4),
+	)
+	reg := NewRegistry()
+	if _, err := reg.Install("big", &Servable{Net: big}); err != nil {
+		t.Fatal(err)
+	}
+	slow := mobile.MidrangePhone()
+	slow.MACsPerSec = 1e6 // pathological device: cloud always wins
+	rt, err := NewRuntime(RuntimeConfig{
+		Registry: reg, Model: "big",
+		Batch:  BatcherConfig{MaxBatch: 4, MaxDelay: time.Millisecond},
+		Device: slow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	res, err := rt.Predict(context.Background(), make([]float64, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement != mobile.PlaceCloud || res.SimNetMs <= 0 {
+		t.Fatalf("slow device should offload to cloud with traffic: %+v", res)
+	}
+}
+
+func TestServerHTTP(t *testing.T) {
+	reg := NewRegistry()
+	s, _ := mlpFactory(9)()
+	if _, err := reg.Install("mlp", s); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reg)
+	rt := newPlainRuntime(t, reg, "mlp", BatcherConfig{MaxBatch: 8, MaxDelay: time.Millisecond})
+	srv.Add(rt)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(PredictRequest{
+		Model:    "mlp",
+		Features: [][]float64{{1, 2, 3, 4, 5, 6, 7, 8}, {8, 7, 6, 5, 4, 3, 2, 1}},
+	})
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d", resp.StatusCode)
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Rows) != 2 {
+		t.Fatalf("predict response: %+v", pr)
+	}
+	for _, row := range pr.Rows {
+		if row.Class < 0 || row.Class >= 4 || row.ModelVersion != 1 {
+			t.Fatalf("bad row: %+v", row)
+		}
+	}
+
+	// Bad rows surface as 400s.
+	body, _ = json.Marshal(PredictRequest{Model: "mlp", Features: [][]float64{{1}}})
+	resp2, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dim mismatch status %d, want 400", resp2.StatusCode)
+	}
+
+	// Unknown model is a 404.
+	body, _ = json.Marshal(PredictRequest{Model: "nope", Features: [][]float64{{1}}})
+	resp3, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model status %d, want 404", resp3.StatusCode)
+	}
+
+	// Stats reflect the served rows.
+	resp4, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp4.Body.Close()
+	var stats map[string]Stats
+	if err := json.NewDecoder(resp4.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["mlp"].Requests != 2 {
+		t.Fatalf("stats: %+v", stats["mlp"])
+	}
+
+	// Models listing shows the installed version.
+	resp5, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp5.Body.Close()
+	var infos []ModelInfo
+	if err := json.NewDecoder(resp5.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "mlp" || infos[0].Version != 1 {
+		t.Fatalf("models: %+v", infos)
+	}
+}

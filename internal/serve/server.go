@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Server exposes one or more runtimes over HTTP/JSON:
+//
+//	POST /v1/predict  {"model":"m","features":[[...],...]}  -> predictions
+//	GET  /v1/stats                                          -> per-model Stats
+//	GET  /v1/models                                         -> registry listing
+//	GET  /healthz                                           -> "ok"
+//
+// Rows of one predict call are submitted to the batcher individually, so
+// concurrent clients coalesce into shared tensor batches.
+type Server struct {
+	registry *Registry
+
+	mu       sync.RWMutex
+	runtimes map[string]*Runtime
+}
+
+// NewServer wraps a registry; runtimes are attached per served model.
+func NewServer(reg *Registry) *Server {
+	return &Server{registry: reg, runtimes: make(map[string]*Runtime)}
+}
+
+// Add attaches a runtime under its model name.
+func (s *Server) Add(rt *Runtime) {
+	s.mu.Lock()
+	s.runtimes[rt.Name()] = rt
+	s.mu.Unlock()
+}
+
+// Close closes every attached runtime.
+func (s *Server) Close() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, rt := range s.runtimes {
+		rt.Close()
+	}
+}
+
+func (s *Server) runtime(name string) (*Runtime, bool) {
+	s.mu.RLock()
+	rt, ok := s.runtimes[name]
+	s.mu.RUnlock()
+	return rt, ok
+}
+
+// Handler returns the HTTP mux for the serving API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// PredictRequest is the /v1/predict body.
+type PredictRequest struct {
+	Model    string      `json:"model"`
+	Features [][]float64 `json:"features"`
+}
+
+// RowResult is one row's answer in a PredictResponse. The model version is
+// per row: during a hot swap, rows of one request can legitimately be
+// served by different versions.
+type RowResult struct {
+	Class        int     `json:"class"`
+	Local        bool    `json:"local"`
+	Placement    string  `json:"placement"`
+	SimNetMs     float64 `json:"sim_net_ms"`
+	ModelVersion int     `json:"model_version"`
+}
+
+// PredictResponse is the /v1/predict reply.
+type PredictResponse struct {
+	Model string      `json:"model"`
+	Rows  []RowResult `json:"rows"`
+}
+
+// maxRowsPerRequest bounds the per-request fan-out (one goroutine per row).
+const maxRowsPerRequest = 1024
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Features) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("no feature rows"))
+		return
+	}
+	if len(req.Features) > maxRowsPerRequest {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("%d feature rows exceeds the per-request limit of %d", len(req.Features), maxRowsPerRequest))
+		return
+	}
+	rt, ok := s.runtime(req.Model)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("model %q not served", req.Model))
+		return
+	}
+
+	// Fan the rows out so they coalesce with other clients' requests.
+	results := make([]Result, len(req.Features))
+	errs := make([]error, len(req.Features))
+	var wg sync.WaitGroup
+	for i, row := range req.Features {
+		wg.Add(1)
+		go func(i int, row []float64) {
+			defer wg.Done()
+			results[i], errs[i] = rt.Predict(r.Context(), row)
+		}(i, row)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrRequest) {
+				status = http.StatusBadRequest
+			}
+			httpError(w, status, err)
+			return
+		}
+	}
+
+	resp := PredictResponse{Model: req.Model, Rows: make([]RowResult, len(results))}
+	for i, res := range results {
+		resp.Rows[i] = RowResult{
+			Class:        res.Class,
+			Local:        res.Local,
+			Placement:    res.Placement.String(),
+			SimNetMs:     res.SimNetMs,
+			ModelVersion: res.ModelVersion,
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	s.mu.RLock()
+	out := make(map[string]Stats, len(s.runtimes))
+	for name, rt := range s.runtimes {
+		out[name] = rt.Stats()
+	}
+	s.mu.RUnlock()
+	writeJSON(w, out)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	writeJSON(w, s.registry.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobiledl/internal/metrics"
+)
+
+// statsWindow is the sliding-window size for quantile estimation.
+const statsWindow = 4096
+
+// collector aggregates runtime counters. Counters are atomics and the
+// latency recorders lock internally, so the hot path never shares a mutex.
+type collector struct {
+	start time.Time
+
+	requests   atomic.Uint64
+	batches    atomic.Uint64
+	batchedReq atomic.Uint64
+	rows       atomic.Uint64
+	localExits atomic.Uint64
+	offloads   atomic.Uint64
+
+	placeMu     sync.Mutex
+	byPlacement map[string]uint64
+
+	latency *metrics.LatencyRecorder // end-to-end, recorded by the runtime
+	queue   *metrics.LatencyRecorder // time waiting for a batch to form
+	exec    *metrics.LatencyRecorder // compute inside the executor
+}
+
+func newCollector() *collector {
+	return &collector{
+		start:       time.Now(),
+		byPlacement: make(map[string]uint64),
+		latency:     metrics.NewLatencyRecorder(statsWindow),
+		queue:       metrics.NewLatencyRecorder(statsWindow),
+		exec:        metrics.NewLatencyRecorder(statsWindow),
+	}
+}
+
+func (c *collector) recordBatch(size int) {
+	c.batches.Add(1)
+	c.batchedReq.Add(uint64(size))
+}
+
+func (c *collector) recordResult(r Result) {
+	c.queue.Record(r.QueueMs)
+	c.exec.Record(r.ExecMs)
+	c.rows.Add(1)
+	// Local and offload are independent facts: a row answered by the early
+	// exit never pays traffic, but a row can also stay on-device without an
+	// exit (plain local placement, offline cascade fallback).
+	if r.Local {
+		c.localExits.Add(1)
+	}
+	if r.SimNetMs > 0 {
+		c.offloads.Add(1)
+	}
+	c.placeMu.Lock()
+	c.byPlacement[r.Placement.String()]++
+	c.placeMu.Unlock()
+}
+
+func (c *collector) recordRequest(totalMs float64) {
+	c.requests.Add(1)
+	c.latency.Record(totalMs)
+}
+
+// Stats is the JSON shape of the /v1/stats endpoint for one runtime.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_s"`
+	Requests      uint64  `json:"requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// LatencyMs is end-to-end request latency (queue + exec + sim network).
+	LatencyMs metrics.LatencySummary `json:"latency_ms"`
+	// QueueMs is time spent waiting for a batch to fill or its budget to
+	// expire.
+	QueueMs metrics.LatencySummary `json:"queue_ms"`
+	// ExecMs is compute time per batch.
+	ExecMs metrics.LatencySummary `json:"exec_ms"`
+
+	Batches uint64 `json:"batches"`
+	// BatchOccupancy is the mean coalesced batch size.
+	BatchOccupancy float64 `json:"batch_occupancy"`
+	MaxBatch       int     `json:"max_batch"`
+
+	// LocalExits counts rows answered by the on-device early exit;
+	// Offloads counts rows that paid simulated device->cloud traffic.
+	// Rows on neither count ran fully on-device without an exit (plain
+	// local placement, offline cascade fallback).
+	LocalExits uint64 `json:"local_exits"`
+	Offloads   uint64 `json:"offloads"`
+	// LocalExitFraction is local_exits over all served rows.
+	LocalExitFraction float64 `json:"local_exit_fraction"`
+	// Placements counts answered rows by execution strategy.
+	Placements map[string]uint64 `json:"placements"`
+}
+
+func (c *collector) snapshot(maxBatch int) Stats {
+	s := Stats{
+		UptimeSeconds: time.Since(c.start).Seconds(),
+		Requests:      c.requests.Load(),
+		LatencyMs:     c.latency.Snapshot(),
+		QueueMs:       c.queue.Snapshot(),
+		ExecMs:        c.exec.Snapshot(),
+		Batches:       c.batches.Load(),
+		MaxBatch:      maxBatch,
+		LocalExits:    c.localExits.Load(),
+		Offloads:      c.offloads.Load(),
+		Placements:    make(map[string]uint64, 3),
+	}
+	if s.UptimeSeconds > 0 {
+		s.ThroughputRPS = float64(s.Requests) / s.UptimeSeconds
+	}
+	if s.Batches > 0 {
+		s.BatchOccupancy = float64(c.batchedReq.Load()) / float64(s.Batches)
+	}
+	if rows := c.rows.Load(); rows > 0 {
+		s.LocalExitFraction = float64(s.LocalExits) / float64(rows)
+	}
+	c.placeMu.Lock()
+	for k, v := range c.byPlacement {
+		s.Placements[k] = v
+	}
+	c.placeMu.Unlock()
+	return s
+}

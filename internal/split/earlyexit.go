@@ -66,6 +66,28 @@ type ExitStats struct {
 	LocalFraction float64
 }
 
+// ExitLocally evaluates the exit classifier over a clean local
+// representation. It returns per-row predictions (meaningful only for rows
+// that exit) and the indices of rows whose confidence misses the threshold
+// and must be offloaded to the cloud. This is the device half of the
+// cascade; serving executors use it to short-circuit whole batches without
+// touching the network when every row exits.
+func (e *EarlyExit) ExitLocally(rep *tensor.Matrix) (preds []int, offload []int, err error) {
+	probs, err := e.Exit.PredictProba(rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	preds = make([]int, rep.Rows())
+	for i := 0; i < rep.Rows(); i++ {
+		c := probs.ArgMaxRow(i)
+		preds[i] = c
+		if probs.At(i, c) < e.Threshold {
+			offload = append(offload, i)
+		}
+	}
+	return preds, offload, nil
+}
+
 // Predict classifies one batch through the cascade, reporting per-sample
 // predictions and where each was answered. Offloaded samples go through the
 // pipeline's privacy perturbation exactly like plain split inference.
@@ -74,33 +96,26 @@ func (e *EarlyExit) Predict(rng *rand.Rand, x *tensor.Matrix) ([]int, []bool, er
 	if err != nil {
 		return nil, nil, err
 	}
-	probs, err := e.Exit.PredictProba(rep)
+	preds, offloadIdx, err := e.ExitLocally(rep)
 	if err != nil {
 		return nil, nil, err
 	}
-	preds := make([]int, x.Rows())
 	local := make([]bool, x.Rows())
-	var offloadIdx []int
-	for i := 0; i < x.Rows(); i++ {
-		c := probs.ArgMaxRow(i)
-		if probs.At(i, c) >= e.Threshold {
-			preds[i] = c
-			local[i] = true
-			continue
-		}
-		offloadIdx = append(offloadIdx, i)
+	for i := range local {
+		local[i] = true
 	}
 	if len(offloadIdx) > 0 {
-		sub, err := x.SelectRows(offloadIdx)
+		sub, err := rep.SelectRows(offloadIdx)
 		if err != nil {
 			return nil, nil, err
 		}
-		cloudPreds, err := e.Pipeline.Predict(rng, sub)
+		cloudPreds, err := e.Pipeline.CloudPredictRep(rng, sub)
 		if err != nil {
 			return nil, nil, err
 		}
 		for k, i := range offloadIdx {
 			preds[i] = cloudPreds[k]
+			local[i] = false
 		}
 	}
 	return preds, local, nil

@@ -76,7 +76,16 @@ func (p *Pipeline) Transform(rng *rand.Rand, x *tensor.Matrix) (*tensor.Matrix, 
 	if err != nil {
 		return nil, fmt.Errorf("local forward: %w", err)
 	}
-	out := h.Clone()
+	return p.Perturb(rng, h)
+}
+
+// Perturb applies the privacy perturbation (clip -> nullification ->
+// Gaussian noise) to an already-computed local representation, returning a
+// new matrix. Staged executors (e.g. a serving runtime that computes the
+// clean representation once for an early-exit check) use this to perturb
+// only the rows that are actually offloaded.
+func (p *Pipeline) Perturb(rng *rand.Rand, rep *tensor.Matrix) (*tensor.Matrix, error) {
+	out := rep.Clone()
 	for i := 0; i < out.Rows(); i++ {
 		row, err := out.SliceRows(i, i+1)
 		if err != nil {
@@ -136,17 +145,35 @@ func (p *Pipeline) Predict(rng *rand.Rand, x *tensor.Matrix) ([]int, error) {
 	return p.Cloud.Predict(rep)
 }
 
-// PayloadBytes returns the per-sample upload size of the transformed
-// representation vs the raw input, demonstrating the paper's claim that the
-// abstract representation is smaller than the raw data.
-func (p *Pipeline) PayloadBytes(inputDim int) (raw, transformed int) {
+// CloudPredictRep perturbs an already-computed clean local representation
+// and classifies it with the cloud network — the upload+server half of the
+// split placement when the device half has already run.
+func (p *Pipeline) CloudPredictRep(rng *rand.Rand, rep *tensor.Matrix) ([]int, error) {
+	pert, err := p.Perturb(rng, rep)
+	if err != nil {
+		return nil, err
+	}
+	return p.Cloud.Predict(pert)
+}
+
+// RepDim returns the width of the local representation (the last Dense
+// output of the local network, or inputDim if it has none) — the per-sample
+// upload payload width under the split placement.
+func (p *Pipeline) RepDim(inputDim int) int {
 	outDim := inputDim
 	for _, l := range p.Local.Layers() {
 		if d, ok := l.(*nn.Dense); ok {
 			outDim = d.Out()
 		}
 	}
-	return inputDim * 8, outDim * 8
+	return outDim
+}
+
+// PayloadBytes returns the per-sample upload size of the transformed
+// representation vs the raw input, demonstrating the paper's claim that the
+// abstract representation is smaller than the raw data.
+func (p *Pipeline) PayloadBytes(inputDim int) (raw, transformed int) {
+	return inputDim * 8, p.RepDim(inputDim) * 8
 }
 
 // TrainConfig configures cloud-side training.
