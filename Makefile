@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench serve-bench
+.PHONY: all build test race vet fmt bench serve-bench bench-json
 
 all: build test vet
 
@@ -10,10 +10,13 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent subsystems (the serving runtime and its
-# instrumentation are the hot spots).
+# Race-check the concurrent subsystems: the serving runtime and its
+# instrumentation, parallel federated training, and the shared tensor
+# substrate (buffer pool + GOMAXPROCS-parallel matmul kernels) with the nn
+# and split consumers that pool scratch.
 race:
-	$(GO) test -race ./internal/serve/... ./internal/metrics/... ./internal/federated/...
+	$(GO) test -race ./internal/serve/... ./internal/metrics/... ./internal/federated/... \
+		./internal/tensor/... ./internal/nn/... ./internal/split/...
 
 vet:
 	$(GO) vet ./...
@@ -28,3 +31,21 @@ bench:
 # Serving throughput at max batch sizes 1/8/32 (requests/sec).
 serve-bench:
 	$(GO) test -run '^$$' -bench BenchmarkServeThroughput -benchtime 2s .
+
+# Substrate benchmarks worth longer timing runs in the snapshot; the paper
+# artifacts (Table1, Fig5, ...) run once each, these get 1s apiece.
+HOT_BENCH := BenchmarkMatMul|BenchmarkSparseMatMul|BenchmarkGRU|BenchmarkDense|BenchmarkCirculant|BenchmarkServeThroughput|BenchmarkHuffman|BenchmarkSVD
+
+# Machine-readable perf snapshot: runs the full bench suite plus a longer
+# pass over the substrate micro-benches, and writes BENCH_<date>.json
+# (name, ns/op, allocs/op, req/s) so the perf trajectory is tracked in-repo
+# across PRs. Later duplicate results override earlier ones. Each run is its
+# own recipe line so a failing benchmark aborts the target instead of
+# silently snapshotting partial output.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . > .bench_raw.txt
+	$(GO) test -run '^$$' -bench '$(HOT_BENCH)' -benchmem -benchtime 1s . >> .bench_raw.txt
+	$(GO) run ./cmd/benchjson < .bench_raw.txt > .bench_snapshot.json
+	mv .bench_snapshot.json BENCH_$$(date -u +%Y-%m-%d).json
+	@rm -f .bench_raw.txt
+	@ls -l BENCH_*.json

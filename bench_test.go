@@ -133,6 +133,45 @@ func BenchmarkMatMul(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMulInto measures the destination-passing kernel at the same
+// mobile-scale shape as BenchmarkMatMul: the delta is pure allocation/GC
+// overhead, and allocs/op here must stay 0.
+func BenchmarkMatMulInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandNormal(rng, 64, 128, 0, 1)
+	w := tensor.RandNormal(rng, 128, 64, 0, 1)
+	dst := tensor.New(64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tensor.MatMulInto(dst, x, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatMulParallel measures the kernel at shapes above the
+// parallelism work threshold (2^20 MACs), where the row blocks fan out
+// across GOMAXPROCS. On a single-core host this still shows the
+// register-blocked kernel's win over the seed's naive ikj loop.
+func BenchmarkMatMulParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{128, 256, 512} {
+		x := tensor.RandNormal(rng, n, n, 0, 1)
+		w := tensor.RandNormal(rng, n, n, 0, 1)
+		dst := tensor.New(n, n)
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := tensor.MatMulInto(dst, x, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSparseMatMul measures the pruned-model inference kernel (90%
 // sparsity) against the dense baseline above.
 func BenchmarkSparseMatMul(b *testing.B) {
@@ -157,6 +196,27 @@ func BenchmarkGRUForward(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	gru := nn.NewGRU(rng, 8, 32)
 	seq := tensor.RandNormal(rng, 50, 8, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gru.ForwardSeq(seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGRUForwardPooled measures the steady-state (warm step cache)
+// sequence pass: after the first call the GRU rewrites its cached per-step
+// matrices through the Into kernels, so allocs/op collapses to the returned
+// hidden state — the serving-loop profile, where one recurrent encoder
+// instance runs sequence after sequence.
+func BenchmarkGRUForwardPooled(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	gru := nn.NewGRU(rng, 8, 32)
+	seq := tensor.RandNormal(rng, 50, 8, 0, 1)
+	if _, err := gru.ForwardSeq(seq); err != nil { // warm the step cache
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// snapshot, so the perf trajectory of the substrate is tracked as a
+// committed artifact across PRs (`make bench-json` writes BENCH_<date>.json).
+//
+// It parses standard benchmark result lines, e.g.
+//
+//	BenchmarkMatMul-8   7141   328643 ns/op   32816 B/op   2 allocs/op
+//	BenchmarkServeThroughput/batch32-8   165510   6442 ns/op   155225 req/s
+//
+// keeping the canonical ns/op, B/op, and allocs/op columns as top-level
+// fields and any custom testing.B metrics (req/s, rows/batch) in a metrics
+// map. When the same benchmark appears more than once on stdin (the Makefile
+// runs the quick sweep first and the longer substrate pass second), the last
+// occurrence wins.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the file layout: run metadata plus every parsed result.
+type Snapshot struct {
+	Date    string   `json:"date"`
+	Go      string   `json:"go,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func parseLine(fields []string) (Result, bool) {
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	// Strip the -GOMAXPROCS suffix so names stay stable across hosts.
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, true
+}
+
+func main() {
+	snap := Snapshot{Date: time.Now().UTC().Format("2006-01-02")}
+	byName := map[string]Result{}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			snap.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:"):
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		r, ok := parseLine(fields)
+		if !ok {
+			continue
+		}
+		byName[r.Name] = r // last run of a benchmark wins
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		snap.Results = append(snap.Results, byName[n])
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+}

@@ -38,4 +38,31 @@
 // GET /v1/models). cmd/mobiledlserve is the standalone server binary;
 // examples/serving is the in-process quickstart; BenchmarkServeThroughput
 // in bench_test.go measures requests/sec at max batch sizes 1/8/32.
+//
+// # Performance conventions
+//
+// internal/tensor is the substrate every hot path rides, and it follows
+// three rules the rest of the repository is written against:
+//
+//   - Destination passing: each hot operation has an *Into variant
+//     (MatMulInto, AddInto, SoftmaxInto, ..., plus accumulate fusions like
+//     MatMulAccInto) that writes into a caller-supplied, correctly-shaped
+//     matrix and allocates nothing. Allocating forms remain for cold sites.
+//   - Pooling: tensor.Pool / the shared tensor.Get and tensor.Put recycle
+//     matrix storage by capacity class. Scratch obtained from Get is owned
+//     until Put and never used afterwards; results returned across an API
+//     boundary are freshly allocated, never pooled, so callers own them
+//     unconditionally. Views (Reshape, RowMatrix) must not be Put.
+//   - Threshold-gated parallelism: the matmul kernels split row blocks
+//     across GOMAXPROCS goroutines only above 2^20 multiply-accumulates;
+//     mobile-scale shapes stay sequential on a register-tiled kernel.
+//
+// Consumers follow suit: nn.Dense fuses bias into the matmul destination;
+// nn.GRU reuses its per-step activation cache across calls (making a GRU
+// instance single-goroutine, unlike Dense inference which is stateless and
+// concurrency-safe); the serve batcher and executor pool batch and gather
+// buffers per worker. When adding a hot path, compute into pooled scratch,
+// Put it before returning, and return only fresh matrices. `make
+// bench-json` snapshots the benchmark suite to BENCH_<date>.json so perf
+// changes stay visible in review.
 package mobiledl

@@ -34,9 +34,9 @@ func benchSetup(t *testing.T, clients int, iid bool) (ModelFactory, []*data.Clie
 	if err != nil {
 		t.Fatal(err)
 	}
-	var seedCounter int64
+	// The factory runs on concurrent client-training goroutines, so it must
+	// not touch shared state.
 	factory := func() (*nn.Sequential, error) {
-		seedCounter++
 		r := rand.New(rand.NewSource(42)) // fixed init for weight alignment
 		return nn.NewSequential(
 			nn.NewDense(r, 8, 16),

@@ -47,13 +47,15 @@ func (d *Dense) Bias() *Param { return d.b }
 
 // Forward implements Layer. The input is cached for Backward only in train
 // mode, so inference (train=false) is pure and safe for concurrent callers.
+// The matmul and the bias broadcast are fused into one output buffer, so the
+// whole pass costs a single allocation (the returned matrix, which the
+// caller owns).
 func (d *Dense) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
-	y, err := tensor.MatMul(x, d.w.Value)
-	if err != nil {
+	y := tensor.New(x.Rows(), d.Out())
+	if err := tensor.MatMulInto(y, x, d.w.Value); err != nil {
 		return nil, fmt.Errorf("dense forward: %w", err)
 	}
-	y, err = tensor.AddRowVector(y, d.b.Value)
-	if err != nil {
+	if err := tensor.AddRowVectorInto(y, y, d.b.Value); err != nil {
 		return nil, fmt.Errorf("dense forward bias: %w", err)
 	}
 	if train {
@@ -62,23 +64,33 @@ func (d *Dense) Forward(x *tensor.Matrix, train bool) (*tensor.Matrix, error) {
 	return y, nil
 }
 
-// Backward implements Layer.
+// Backward implements Layer. Gradient temporaries come from the shared
+// tensor pool and are returned before Backward exits; only dx (owned by the
+// caller) is freshly allocated.
 func (d *Dense) Backward(gradOut *tensor.Matrix) (*tensor.Matrix, error) {
 	if d.x == nil {
 		return nil, ErrNotReady
 	}
-	dw, err := tensor.TMatMul(d.x, gradOut)
+	dw := tensor.Get(d.In(), d.Out())
+	err := tensor.TMatMulInto(dw, d.x, gradOut)
+	if err == nil {
+		err = d.w.AccumulateGrad(dw)
+	}
+	tensor.Put(dw)
 	if err != nil {
 		return nil, fmt.Errorf("dense backward dW: %w", err)
 	}
-	if err := d.w.AccumulateGrad(dw); err != nil {
-		return nil, err
+	db := tensor.Get(1, d.Out())
+	err = tensor.SumRowsInto(db, gradOut)
+	if err == nil {
+		err = d.b.AccumulateGrad(db)
 	}
-	if err := d.b.AccumulateGrad(tensor.SumRows(gradOut)); err != nil {
-		return nil, err
-	}
-	dx, err := tensor.MatMulT(gradOut, d.w.Value)
+	tensor.Put(db)
 	if err != nil {
+		return nil, err
+	}
+	dx := tensor.New(gradOut.Rows(), d.In())
+	if err := tensor.MatMulTInto(dx, gradOut, d.w.Value); err != nil {
 		return nil, fmt.Errorf("dense backward dX: %w", err)
 	}
 	return dx, nil

@@ -16,9 +16,16 @@ import (
 //	h~_k = tanh(W x_k + U (r_k ⊙ h_{k-1}) + bh)
 //	h_k = z_k ⊙ h_{k-1} + (1 - z_k) ⊙ h~_k
 //
-// Forward caches per-step activations; BackwardLast runs full
+// ForwardSeq caches per-step activations; BackwardLast runs full
 // backpropagation through time from a gradient on the final hidden state,
 // which is the only state DeepMood/DEEPSERVICE consume.
+//
+// The step cache doubles as preallocated scratch: successive ForwardSeq
+// calls rewrite the same matrices via the tensor Into kernels instead of
+// allocating ~10 temporaries per timestep, so a warm GRU runs a whole
+// sequence with O(1) allocations. The cache also makes a GRU inherently
+// single-goroutine — one instance must not run concurrent ForwardSeq or
+// BackwardLast calls (unlike Dense, whose inference path is stateless).
 type GRU struct {
 	inDim, hidden int
 
@@ -27,8 +34,13 @@ type GRU struct {
 	wh, uh, bh *Param
 
 	steps []gruStep
+	h0    *tensor.Matrix // zero initial state, reused across calls
+	live  int            // steps valid for BackwardLast after the last ForwardSeq
 }
 
+// gruStep holds one timestep's activations. hPrev aliases the previous
+// step's h (or the shared h0 for step 0); the rest are owned by the step and
+// overwritten in place on the next ForwardSeq.
 type gruStep struct {
 	x, hPrev, r, z, hCand, h *tensor.Matrix
 }
@@ -61,29 +73,47 @@ func (g *GRU) Params() []*Param {
 	return []*Param{g.wr, g.ur, g.br, g.wz, g.uz, g.bz, g.wh, g.uh, g.bh}
 }
 
-// gate computes sigmoid_or_tanh(x@Wx + h@Wh + b) for a single step.
-func (g *GRU) gate(x, h *tensor.Matrix, wx, wh, b *Param, act func(float64) float64) (*tensor.Matrix, error) {
-	xa, err := tensor.MatMul(x, wx.Value)
-	if err != nil {
-		return nil, err
+// ensureSteps grows the step cache to cover T timesteps, wiring each step's
+// hPrev to the previous step's h so the recurrence never copies state.
+func (g *GRU) ensureSteps(T int) {
+	if g.h0 == nil {
+		g.h0 = tensor.New(1, g.hidden)
 	}
-	ha, err := tensor.MatMul(h, wh.Value)
-	if err != nil {
-		return nil, err
+	for len(g.steps) < T {
+		prev := g.h0
+		if n := len(g.steps); n > 0 {
+			prev = g.steps[n-1].h
+		}
+		g.steps = append(g.steps, gruStep{
+			x:     tensor.New(1, g.inDim),
+			hPrev: prev,
+			r:     tensor.New(1, g.hidden),
+			z:     tensor.New(1, g.hidden),
+			hCand: tensor.New(1, g.hidden),
+			h:     tensor.New(1, g.hidden),
+		})
 	}
-	if err := tensor.AddInPlace(xa, ha); err != nil {
-		return nil, err
+}
+
+// gateInto computes dst = act(x@wx + h@wh + b) with zero allocation, fusing
+// the two matmuls through the accumulate kernel.
+func gateInto(dst, x, h *tensor.Matrix, wx, wh, b *Param, act func(float64) float64) error {
+	if err := tensor.MatMulInto(dst, x, wx.Value); err != nil {
+		return err
 	}
-	out, err := tensor.AddRowVector(xa, b.Value)
-	if err != nil {
-		return nil, err
+	if err := tensor.MatMulAccInto(dst, h, wh.Value); err != nil {
+		return err
 	}
-	out.ApplyInPlace(act)
-	return out, nil
+	if err := tensor.AddRowVectorInto(dst, dst, b.Value); err != nil {
+		return err
+	}
+	dst.ApplyInPlace(act)
+	return nil
 }
 
 // ForwardSeq consumes a T x inDim sequence and returns the final hidden
-// state (1 x hidden). The per-step cache is retained for BackwardLast.
+// state (1 x hidden, owned by the caller). The per-step cache is retained
+// for BackwardLast and recycled by the next ForwardSeq call.
 func (g *GRU) ForwardSeq(seq *tensor.Matrix) (*tensor.Matrix, error) {
 	if seq.Cols() != g.inDim {
 		return nil, fmt.Errorf("%w: GRU input dim %d, want %d", tensor.ErrShape, seq.Cols(), g.inDim)
@@ -91,60 +121,81 @@ func (g *GRU) ForwardSeq(seq *tensor.Matrix) (*tensor.Matrix, error) {
 	if seq.Rows() == 0 {
 		return nil, fmt.Errorf("%w: GRU empty sequence", tensor.ErrShape)
 	}
-	g.steps = g.steps[:0]
-	h := tensor.New(1, g.hidden)
-	for k := 0; k < seq.Rows(); k++ {
-		x := tensor.RowVector(seq.Row(k))
-		r, err := g.gate(x, h, g.wr, g.ur, g.br, Sigmoid)
-		if err != nil {
+	T := seq.Rows()
+	g.ensureSteps(T)
+	g.live = 0
+	g.h0.Zero()
+	h := g.h0
+	rh := tensor.Get(1, g.hidden)
+	defer tensor.Put(rh)
+	for k := 0; k < T; k++ {
+		st := &g.steps[k]
+		copy(st.x.Data(), seq.Row(k))
+		st.hPrev = h
+		if err := gateInto(st.r, st.x, h, g.wr, g.ur, g.br, Sigmoid); err != nil {
 			return nil, fmt.Errorf("gru step %d reset gate: %w", k, err)
 		}
-		z, err := g.gate(x, h, g.wz, g.uz, g.bz, Sigmoid)
-		if err != nil {
+		if err := gateInto(st.z, st.x, h, g.wz, g.uz, g.bz, Sigmoid); err != nil {
 			return nil, fmt.Errorf("gru step %d update gate: %w", k, err)
 		}
-		rh, err := tensor.Mul(r, h)
-		if err != nil {
+		if err := tensor.MulInto(rh, st.r, h); err != nil {
 			return nil, err
 		}
-		hCand, err := g.gate(x, rh, g.wh, g.uh, g.bh, math.Tanh)
-		if err != nil {
+		if err := gateInto(st.hCand, st.x, rh, g.wh, g.uh, g.bh, math.Tanh); err != nil {
 			return nil, fmt.Errorf("gru step %d candidate: %w", k, err)
 		}
 		// h = z ⊙ hPrev + (1-z) ⊙ hCand
-		hNext := tensor.New(1, g.hidden)
-		hn, zd, hp, hc := hNext.Data(), z.Data(), h.Data(), hCand.Data()
+		hn, zd, hp, hc := st.h.Data(), st.z.Data(), h.Data(), st.hCand.Data()
 		for i := range hn {
 			hn[i] = zd[i]*hp[i] + (1-zd[i])*hc[i]
 		}
-		g.steps = append(g.steps, gruStep{x: x, hPrev: h, r: r, z: z, hCand: hCand, h: hNext})
-		h = hNext
+		h = st.h
 	}
+	g.live = T
 	return h.Clone(), nil
 }
 
 // BackwardLast backpropagates through time from dLast, the gradient of the
 // loss w.r.t. the final hidden state, accumulating parameter gradients.
-// It returns the gradient w.r.t. the input sequence (T x inDim).
+// It returns the gradient w.r.t. the input sequence (T x inDim). All
+// per-step temporaries come from the shared tensor pool and are hoisted out
+// of the time loop, so a full BPTT pass allocates only the returned matrix.
 func (g *GRU) BackwardLast(dLast *tensor.Matrix) (*tensor.Matrix, error) {
-	if len(g.steps) == 0 {
+	if g.live == 0 {
 		return nil, ErrNotReady
 	}
 	if dLast.Rows() != 1 || dLast.Cols() != g.hidden {
 		return nil, fmt.Errorf("%w: GRU dLast %dx%d, want 1x%d",
 			tensor.ErrShape, dLast.Rows(), dLast.Cols(), g.hidden)
 	}
-	dSeq := tensor.New(len(g.steps), g.inDim)
-	dh := dLast.Clone()
+	hid := g.hidden
+	dSeq := tensor.New(g.live, g.inDim)
 
-	for k := len(g.steps) - 1; k >= 0; k-- {
-		st := g.steps[k]
-		hid := g.hidden
+	scratch := []*tensor.Matrix{}
+	get := func(rows, cols int) *tensor.Matrix {
+		m := tensor.Get(rows, cols)
+		scratch = append(scratch, m)
+		return m
+	}
+	defer func() {
+		for _, m := range scratch {
+			tensor.Put(m)
+		}
+	}()
 
-		dhPrev := tensor.New(1, hid)
-		daR := tensor.New(1, hid)
-		daZ := tensor.New(1, hid)
-		daH := tensor.New(1, hid)
+	dh := get(1, hid)
+	copy(dh.Data(), dLast.Data())
+	dhPrev := get(1, hid)
+	daR, daZ, daH := get(1, hid), get(1, hid), get(1, hid)
+	dRH := get(1, hid)
+	rh := get(1, hid)
+	dwxScr := get(g.inDim, hid)
+	dwhScr := get(hid, hid)
+	dxRow := get(1, g.inDim)
+
+	for k := g.live - 1; k >= 0; k-- {
+		st := &g.steps[k]
+		dhPrev.Zero()
 
 		dhd := dh.Data()
 		zd, rd := st.z.Data(), st.r.Data()
@@ -163,8 +214,7 @@ func (g *GRU) BackwardLast(dLast *tensor.Matrix) (*tensor.Matrix, error) {
 		}
 
 		// Candidate path: aH = x@Wh + (r ⊙ hPrev)@Uh + bh
-		dRH, err := tensor.MatMulT(daH, g.uh.Value)
-		if err != nil {
+		if err := tensor.MatMulTInto(dRH, daH, g.uh.Value); err != nil {
 			return nil, err
 		}
 		drh := dRH.Data()
@@ -175,8 +225,7 @@ func (g *GRU) BackwardLast(dLast *tensor.Matrix) (*tensor.Matrix, error) {
 		}
 
 		// Accumulate parameter gradients for the three gates.
-		rh, err := tensor.Mul(st.r, st.hPrev)
-		if err != nil {
+		if err := tensor.MulInto(rh, st.r, st.hPrev); err != nil {
 			return nil, err
 		}
 		type gateGrad struct {
@@ -190,18 +239,16 @@ func (g *GRU) BackwardLast(dLast *tensor.Matrix) (*tensor.Matrix, error) {
 			{da: daZ, wx: g.wz, wh: g.uz, b: g.bz, hIn: st.hPrev},
 			{da: daH, wx: g.wh, wh: g.uh, b: g.bh, hIn: rh},
 		} {
-			dwx, err := tensor.TMatMul(st.x, gg.da)
-			if err != nil {
+			if err := tensor.TMatMulInto(dwxScr, st.x, gg.da); err != nil {
 				return nil, err
 			}
-			if err := gg.wx.AccumulateGrad(dwx); err != nil {
+			if err := gg.wx.AccumulateGrad(dwxScr); err != nil {
 				return nil, err
 			}
-			dwh, err := tensor.TMatMul(gg.hIn, gg.da)
-			if err != nil {
+			if err := tensor.TMatMulInto(dwhScr, gg.hIn, gg.da); err != nil {
 				return nil, err
 			}
-			if err := gg.wh.AccumulateGrad(dwh); err != nil {
+			if err := gg.wh.AccumulateGrad(dwhScr); err != nil {
 				return nil, err
 			}
 			if err := gg.b.AccumulateGrad(gg.da); err != nil {
@@ -210,43 +257,26 @@ func (g *GRU) BackwardLast(dLast *tensor.Matrix) (*tensor.Matrix, error) {
 		}
 
 		// Input gradient: dx = daR@Wr^T + daZ@Wz^T + daH@Wh^T.
-		dx, err := tensor.MatMulT(daR, g.wr.Value)
-		if err != nil {
+		if err := tensor.MatMulTInto(dxRow, daR, g.wr.Value); err != nil {
 			return nil, err
 		}
-		dxz, err := tensor.MatMulT(daZ, g.wz.Value)
-		if err != nil {
+		if err := tensor.MatMulTAccInto(dxRow, daZ, g.wz.Value); err != nil {
 			return nil, err
 		}
-		if err := tensor.AddInPlace(dx, dxz); err != nil {
+		if err := tensor.MatMulTAccInto(dxRow, daH, g.wh.Value); err != nil {
 			return nil, err
 		}
-		dxh, err := tensor.MatMulT(daH, g.wh.Value)
-		if err != nil {
-			return nil, err
-		}
-		if err := tensor.AddInPlace(dx, dxh); err != nil {
-			return nil, err
-		}
-		copy(dSeq.Row(k), dx.Row(0))
+		copy(dSeq.Row(k), dxRow.Row(0))
 
 		// Hidden-state gradient flowing to step k-1 also passes through the
 		// recurrent kernels of the r and z gates.
-		dhR, err := tensor.MatMulT(daR, g.ur.Value)
-		if err != nil {
+		if err := tensor.MatMulTAccInto(dhPrev, daR, g.ur.Value); err != nil {
 			return nil, err
 		}
-		if err := tensor.AddInPlace(dhPrev, dhR); err != nil {
+		if err := tensor.MatMulTAccInto(dhPrev, daZ, g.uz.Value); err != nil {
 			return nil, err
 		}
-		dhZ, err := tensor.MatMulT(daZ, g.uz.Value)
-		if err != nil {
-			return nil, err
-		}
-		if err := tensor.AddInPlace(dhPrev, dhZ); err != nil {
-			return nil, err
-		}
-		dh = dhPrev
+		dh, dhPrev = dhPrev, dh
 	}
 	return dSeq, nil
 }
@@ -257,6 +287,7 @@ func (g *GRU) BackwardLast(dLast *tensor.Matrix) (*tensor.Matrix, error) {
 type BiGRU struct {
 	fwd, bwd *GRU
 	lastSeq  *tensor.Matrix
+	revScr   *tensor.Matrix // reused reversed-sequence buffer
 }
 
 // NewBiGRU creates a bidirectional GRU pair.
@@ -276,8 +307,11 @@ func (b *BiGRU) ForwardSeq(seq *tensor.Matrix) (*tensor.Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	rev := reverseRows(seq)
-	hb, err := b.bwd.ForwardSeq(rev)
+	if b.revScr == nil || b.revScr.Rows() != seq.Rows() || b.revScr.Cols() != seq.Cols() {
+		b.revScr = tensor.New(seq.Rows(), seq.Cols())
+	}
+	reverseRowsInto(b.revScr, seq)
+	hb, err := b.bwd.ForwardSeq(b.revScr)
 	if err != nil {
 		return nil, err
 	}
@@ -308,17 +342,18 @@ func (b *BiGRU) BackwardLast(dLast *tensor.Matrix) (*tensor.Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	dSeqBRev := reverseRows(dSeqB)
-	if err := tensor.AddInPlace(dSeqF, dSeqBRev); err != nil {
+	dSeqBRev := tensor.Get(dSeqB.Rows(), dSeqB.Cols())
+	reverseRowsInto(dSeqBRev, dSeqB)
+	err = tensor.AddInPlace(dSeqF, dSeqBRev)
+	tensor.Put(dSeqBRev)
+	if err != nil {
 		return nil, err
 	}
 	return dSeqF, nil
 }
 
-func reverseRows(m *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(m.Rows(), m.Cols())
+func reverseRowsInto(dst, m *tensor.Matrix) {
 	for i := 0; i < m.Rows(); i++ {
-		copy(out.Row(m.Rows()-1-i), m.Row(i))
+		copy(dst.Row(m.Rows()-1-i), m.Row(i))
 	}
-	return out
 }

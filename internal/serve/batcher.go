@@ -41,6 +41,8 @@ func (c *BatcherConfig) fill() {
 }
 
 // ExecFunc runs one coalesced tensor batch and returns one Result per row.
+// The batch matrix is pooled: it is only valid for the duration of the call
+// and must not be retained (or returned) by the executor.
 type ExecFunc func(batch *tensor.Matrix) ([]Result, error)
 
 type request struct {
@@ -195,11 +197,14 @@ func (b *Batcher) worker() {
 
 func (b *Batcher) runBatch(reqs []*request) {
 	start := time.Now()
-	batch := tensor.New(len(reqs), b.dim)
+	// Assemble into a pooled matrix: each worker recycles the previous
+	// batch's buffer instead of allocating one per flush.
+	batch := tensor.Get(len(reqs), b.dim)
 	for i, r := range reqs {
 		copy(batch.Row(i), r.features)
 	}
 	results, err := b.exec(batch)
+	tensor.Put(batch)
 	if err == nil && len(results) != len(reqs) {
 		err = fmt.Errorf("%w: executor returned %d results for %d rows", ErrServe, len(results), len(reqs))
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mobiledl/internal/mobile"
+	"mobiledl/internal/split"
 	"mobiledl/internal/tensor"
 )
 
@@ -150,37 +151,10 @@ func (e *Executor) runCascade(s *Servable, plan mobile.PlanCost, batch *tensor.M
 	if err != nil {
 		return nil, err
 	}
-	if plan.Placement == mobile.PlaceLocal {
-		// Whole cascade on-device: the cloud half runs locally for the
-		// unconfident rows, with no perturbation and no traffic. Local is
-		// still "answered by the early exit", so unconfident rows report
-		// Local=false even though they never left the device.
-		preds, offload, err := cascade.ExitLocally(rep)
-		if err != nil {
-			return nil, err
-		}
-		results := make([]Result, len(preds))
-		for i, c := range preds {
-			results[i] = Result{Class: c, Local: true}
-		}
-		if len(offload) > 0 {
-			sub, err := rep.SelectRows(offload)
-			if err != nil {
-				return nil, err
-			}
-			cloudPreds, err := cascade.Pipeline.Cloud.Predict(sub)
-			if err != nil {
-				return nil, err
-			}
-			for k, i := range offload {
-				results[i] = Result{Class: cloudPreds[k], Local: false}
-			}
-		}
-		return results, nil
-	}
-
-	// Split placement: early exit short-circuits confident rows on-device;
-	// only the rest pay the (perturbed) upload and the cloud pass.
+	// rep is freshly produced per batch (TransformClean never aliases its
+	// input) and consumed entirely below, so it feeds the pool afterwards —
+	// each worker's next batch reuses it instead of allocating.
+	defer tensor.Put(rep)
 	preds, offload, err := cascade.ExitLocally(rep)
 	if err != nil {
 		return nil, err
@@ -192,24 +166,52 @@ func (e *Executor) runCascade(s *Servable, plan mobile.PlanCost, batch *tensor.M
 	if len(offload) == 0 {
 		return results, nil
 	}
-	sub, err := rep.SelectRows(offload)
+
+	// Unconfident rows go through the cloud half. Under the split placement
+	// they pay the privacy perturbation and the modeled transfer; under the
+	// local placement (e.g. offline) the cloud network runs on-device with
+	// neither. Local is still "answered by the early exit", so these rows
+	// report Local=false either way.
+	perturb := plan.Placement != mobile.PlaceLocal
+	cloudPreds, err := e.cloudFinish(cascade, rep, offload, perturb)
 	if err != nil {
 		return nil, err
 	}
-	e.rngMu.Lock()
-	cloudPreds, err := cascade.Pipeline.CloudPredictRep(e.rng, sub)
-	e.rngMu.Unlock()
-	if err != nil {
-		return nil, err
-	}
-	netMs, err := e.transferMs(plan.UpBytes, plan.DownBytes)
-	if err != nil {
-		return nil, err
+	var netMs float64
+	if perturb {
+		if netMs, err = e.transferMs(plan.UpBytes, plan.DownBytes); err != nil {
+			return nil, err
+		}
 	}
 	for k, i := range offload {
 		results[i] = Result{Class: cloudPreds[k], Local: false, SimNetMs: netMs}
 	}
 	return results, nil
+}
+
+// cloudFinish gathers the offloaded rows of rep into a pooled buffer and
+// classifies them with the cascade's cloud network — perturbed (the split
+// upload path) or clean (fully-local execution). Only the perturbation's
+// RNG draws are serialized; the deep cloud forward pass runs concurrently
+// across workers (inference is stateless per the Layer contract).
+func (e *Executor) cloudFinish(cascade *split.EarlyExit, rep *tensor.Matrix, offload []int, perturb bool) ([]int, error) {
+	sub := tensor.Get(len(offload), rep.Cols())
+	defer tensor.Put(sub)
+	if err := rep.SelectRowsInto(sub, offload); err != nil {
+		return nil, err
+	}
+	in := sub
+	if perturb {
+		e.rngMu.Lock()
+		pert, err := cascade.Pipeline.Perturb(e.rng, sub)
+		e.rngMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		defer tensor.Put(pert)
+		in = pert
+	}
+	return cascade.Pipeline.Cloud.Predict(in)
 }
 
 // transferMs models one row's round trip: upload upBytes, download

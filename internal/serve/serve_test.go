@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -223,6 +224,74 @@ func TestConcurrentWorkersShareModel(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestPooledBuffersUnderConcurrentPredict drives 64 concurrent Predict
+// callers through a cascade runtime, the configuration that exercises every
+// pooled buffer in the stack (batch assembly, early-exit softmax scratch,
+// representation and offload gathers). Each caller submits a fixed feature
+// row and pins the class it receives on the first call: if recycled buffers
+// ever leaked between concurrent batches, rows would cross-contaminate and
+// a caller would see its answer flip. Run under -race via `make race`.
+func TestPooledBuffersUnderConcurrentPredict(t *testing.T) {
+	reg := NewRegistry()
+	s, err := cascadeFactory(5)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid threshold: some rows exit locally, some offload — both gather
+	// paths run. Zero out the perturbation so offloaded answers are
+	// deterministic per row.
+	s.Cascade.Threshold = 0.5
+	s.Cascade.Pipeline.NullRate = 0
+	s.Cascade.Pipeline.NoiseSigma = 0
+	if _, err := reg.Install("cascade", s); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(RuntimeConfig{
+		Registry: reg, Model: "cascade",
+		Batch: BatcherConfig{MaxBatch: 16, MaxDelay: 200 * time.Microsecond, Workers: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	const clients, perClient = 64, 25
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			feats := make([]float64, 8)
+			for j := range feats {
+				feats[j] = rng.NormFloat64()
+			}
+			want := -1
+			for k := 0; k < perClient; k++ {
+				res, err := rt.Predict(context.Background(), feats)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if want == -1 {
+					want = res.Class
+				} else if res.Class != want {
+					errCh <- errResultFlip
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+var errResultFlip = errors.New("pooled buffers leaked between batches: same features produced different classes")
 
 func TestHotSwapRejectsInterfaceChange(t *testing.T) {
 	reg := NewRegistry()

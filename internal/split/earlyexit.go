@@ -73,8 +73,16 @@ type ExitStats struct {
 // cascade; serving executors use it to short-circuit whole batches without
 // touching the network when every row exits.
 func (e *EarlyExit) ExitLocally(rep *tensor.Matrix) (preds []int, offload []int, err error) {
-	probs, err := e.Exit.PredictProba(rep)
+	out, err := e.Exit.Forward(rep, false)
 	if err != nil {
+		return nil, nil, err
+	}
+	// Softmax into pooled scratch: the probabilities are consumed before the
+	// buffer is recycled, so the serving hot path sheds one garbage matrix
+	// per batch.
+	probs := tensor.Get(out.Rows(), out.Cols())
+	defer tensor.Put(probs)
+	if err := tensor.SoftmaxInto(probs, out); err != nil {
 		return nil, nil, err
 	}
 	preds = make([]int, rep.Rows())

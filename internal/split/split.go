@@ -87,10 +87,8 @@ func (p *Pipeline) Transform(rng *rand.Rand, x *tensor.Matrix) (*tensor.Matrix, 
 func (p *Pipeline) Perturb(rng *rand.Rand, rep *tensor.Matrix) (*tensor.Matrix, error) {
 	out := rep.Clone()
 	for i := 0; i < out.Rows(); i++ {
-		row, err := out.SliceRows(i, i+1)
-		if err != nil {
-			return nil, err
-		}
+		// Row views mutate out in place — no per-row slice-and-copy-back.
+		row := out.RowMatrix(i)
 		if _, err := privacy.ClipL2(row, p.Bound); err != nil {
 			return nil, err
 		}
@@ -102,19 +100,24 @@ func (p *Pipeline) Perturb(rng *rand.Rand, rep *tensor.Matrix) (*tensor.Matrix, 
 		if p.NoiseSigma > 0 {
 			privacy.AddGaussian(rng, row, p.NoiseSigma)
 		}
-		copy(out.Row(i), row.Row(0))
 	}
 	return out, nil
 }
 
 // TransformClean runs the local network without perturbation (used for the
-// non-private baseline and for noisy-training data synthesis).
+// non-private baseline and for noisy-training data synthesis). The result
+// never aliases x: pass-through layer stacks (e.g. dropout-only locals,
+// whose inference Forward returns its input) are cloned, so callers that
+// recycle x — the serving batcher pools its batch matrices — stay safe.
 func (p *Pipeline) TransformClean(x *tensor.Matrix) (*tensor.Matrix, error) {
 	h, err := p.Local.Forward(x, false)
 	if err != nil {
 		return nil, err
 	}
-	return h.Clone(), nil
+	if h == x {
+		return h.Clone(), nil
+	}
+	return h, nil
 }
 
 // Epsilon returns the per-query (ε, δ) differential-privacy guarantee of

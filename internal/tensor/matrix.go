@@ -3,6 +3,13 @@
 // elementwise, reduction and BLAS-like operations a small neural-network
 // stack needs, plus a one-sided Jacobi SVD used for low-rank factorization.
 //
+// Hot paths use the destination-passing kernels (MatMulInto and friends in
+// ops_into.go), which write into caller-supplied matrices with zero
+// allocation, together with Pool / Get / Put for recycled scratch. The
+// matmul family parallelizes across row blocks above a fixed work threshold
+// and stays sequential (register-tiled) below it. See the module-level
+// doc.go "Performance conventions" for the ownership rules.
+//
 // The package is deliberately self-contained (stdlib only) because the paper
 // assumes a deep-learning substrate (Keras/TensorFlow) that is not available
 // in a pure-Go, offline environment; see DESIGN.md for the substitution note.
@@ -12,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 )
 
 // ErrShape is returned (wrapped) by operations whose operand shapes are
@@ -93,6 +101,14 @@ func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
 // Row returns row i as a slice aliasing the matrix storage.
 func (m *Matrix) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
 
+// RowMatrix returns row i as a 1 x cols matrix view sharing storage with m:
+// mutating the view mutates m. It lets per-row transforms (clipping, noise)
+// run without the slice-out-and-copy-back round trip. Views must never be
+// handed to a Pool.
+func (m *Matrix) RowMatrix(i int) *Matrix {
+	return &Matrix{rows: 1, cols: m.cols, data: m.Row(i)}
+}
+
 // Clone returns a deep copy.
 func (m *Matrix) Clone() *Matrix {
 	c := New(m.rows, m.cols)
@@ -161,15 +177,17 @@ func (m *Matrix) Equal(other *Matrix, tol float64) bool {
 // String renders the matrix for debugging (rows capped at 8).
 func (m *Matrix) String() string {
 	const maxRows = 8
-	s := fmt.Sprintf("Matrix(%dx%d)[", m.rows, m.cols)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Matrix(%dx%d)[", m.rows, m.cols)
 	for i := 0; i < m.rows && i < maxRows; i++ {
-		s += fmt.Sprintf("%v", m.Row(i))
+		fmt.Fprintf(&b, "%v", m.Row(i))
 		if i != m.rows-1 {
-			s += "; "
+			b.WriteString("; ")
 		}
 	}
 	if m.rows > maxRows {
-		s += "..."
+		b.WriteString("...")
 	}
-	return s + "]"
+	b.WriteString("]")
+	return b.String()
 }

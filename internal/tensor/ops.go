@@ -5,26 +5,18 @@ import (
 	"math"
 )
 
-// MatMul computes a @ b into a newly allocated matrix.
+// MatMul computes a @ b into a newly allocated matrix. It shares the
+// register-blocked, threshold-parallel kernel with MatMulInto; callers on a
+// hot path should preallocate (or pool) the destination and use the Into
+// variant directly. The kernel is branch-free over the operand values —
+// sparse speedups belong to compress.CSR, not here.
 func MatMul(a, b *Matrix) (*Matrix, error) {
 	if a.cols != b.rows {
 		return nil, fmt.Errorf("%w: MatMul %dx%d @ %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
 	}
 	out := New(a.rows, b.cols)
-	// ikj loop order keeps the inner loop contiguous in both b and out.
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k := 0; k < a.cols; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
+	if err := MatMulInto(out, a, b); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -35,17 +27,8 @@ func MatMulT(a, b *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("%w: MatMulT %dx%d @ (%dx%d)^T", ErrShape, a.rows, a.cols, b.rows, b.cols)
 	}
 	out := New(a.rows, b.rows)
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.rows; j++ {
-			brow := b.Row(j)
-			var sum float64
-			for k, av := range arow {
-				sum += av * brow[k]
-			}
-			orow[j] = sum
-		}
+	if err := MatMulTInto(out, a, b); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -56,18 +39,8 @@ func TMatMul(a, b *Matrix) (*Matrix, error) {
 		return nil, fmt.Errorf("%w: TMatMul (%dx%d)^T @ %dx%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
 	}
 	out := New(a.cols, b.cols)
-	for k := 0; k < a.rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Row(i)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
+	if err := TMatMulInto(out, a, b); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -269,28 +242,7 @@ func (m *Matrix) ArgMaxRow(i int) int {
 // Softmax returns the row-wise softmax of a, computed stably.
 func Softmax(a *Matrix) *Matrix {
 	out := New(a.rows, a.cols)
-	for i := 0; i < a.rows; i++ {
-		row := a.Row(i)
-		orow := out.Row(i)
-		max := math.Inf(-1)
-		for _, v := range row {
-			if v > max {
-				max = v
-			}
-		}
-		var sum float64
-		for j, v := range row {
-			e := math.Exp(v - max)
-			orow[j] = e
-			sum += e
-		}
-		if sum == 0 {
-			continue
-		}
-		for j := range orow {
-			orow[j] /= sum
-		}
-	}
+	_ = SoftmaxInto(out, a) // shapes match by construction
 	return out
 }
 
@@ -366,11 +318,8 @@ func (m *Matrix) SliceRows(from, to int) (*Matrix, error) {
 // SelectRows gathers the given row indices into a new matrix.
 func (m *Matrix) SelectRows(idx []int) (*Matrix, error) {
 	out := New(len(idx), m.cols)
-	for i, r := range idx {
-		if r < 0 || r >= m.rows {
-			return nil, fmt.Errorf("%w: SelectRows index %d of %d rows", ErrShape, r, m.rows)
-		}
-		copy(out.Row(i), m.Row(r))
+	if err := m.SelectRowsInto(out, idx); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
