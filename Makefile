@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench serve-bench bench-json
+.PHONY: all build test race vet fmt cover bench serve-bench bench-json
 
 all: build test vet
 
@@ -20,6 +20,14 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Coverage summary: per-function table plus the total, written from a
+# throwaway profile (cover.out is gitignored by convention, not committed).
+# CI runs this as a non-blocking report step.
+cover:
+	$(GO) test -covermode=atomic -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 25
+	@echo "full per-function table: go tool cover -func=cover.out"
 
 fmt:
 	gofmt -l -w .

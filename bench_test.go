@@ -80,10 +80,14 @@ func BenchmarkServeThroughput(b *testing.B) {
 		nn.NewDense(rng, 64, 64), nn.NewReLU(),
 		nn.NewDense(rng, 64, 10),
 	)
+	backend, err := serve.NewDenseBackend(model)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for _, size := range []int{1, 8, 32} {
 		b.Run(fmt.Sprintf("batch%d", size), func(b *testing.B) {
 			reg := serve.NewRegistry()
-			if _, err := reg.Install("bench", &serve.Servable{Net: model}); err != nil {
+			if _, err := reg.Install("bench", backend); err != nil {
 				b.Fatal(err)
 			}
 			rt, err := serve.NewRuntime(serve.RuntimeConfig{

@@ -1,15 +1,17 @@
 // Command mobiledlserve runs the model-serving runtime as an HTTP server:
-// it trains demonstration models on synthetic data (a plain MLP — optionally
-// Deep-Compressed — and a split/early-exit cascade), installs them in a
-// registry, and serves predictions with adaptive batching.
+// it trains demonstration models on synthetic data — a plain MLP (optionally
+// Deep-Compressed), a split/early-exit cascade, and a random-forest baseline
+// — installs them as serving backends in one registry, and serves
+// predictions with adaptive batching.
 //
 //	mobiledlserve -addr :8080 -batch 32 -window 2ms
 //
 // Endpoints:
 //
-//	POST /v1/predict  {"model":"mlp","features":[[...64 floats...]]}
+//	POST /v1/predict  {"model":"mlp","features":[[...64 floats...]],
+//	                   "options":{"top_k":3,"version":1,"no_perturb":false}}
 //	GET  /v1/stats    p50/p99 latency, throughput, batch occupancy
-//	GET  /v1/models   registry listing (versions, compression ratio)
+//	GET  /v1/models   registry listing (kind, versions, compression ratio)
 //	GET  /healthz
 package main
 
@@ -22,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"mobiledl/internal/baselines"
 	"mobiledl/internal/compress"
 	"mobiledl/internal/core"
 	"mobiledl/internal/data"
@@ -72,7 +75,7 @@ func run(args []string) error {
 	srv := serve.NewServer(reg)
 	defer srv.Close()
 	batch := serve.BatcherConfig{MaxBatch: *maxBatch, MaxDelay: *window, Workers: *workers}
-	for _, name := range []string{"mlp", "mlp-compressed", "cascade"} {
+	for _, name := range []string{"mlp", "mlp-compressed", "cascade", "forest"} {
 		rt, err := serve.NewRuntime(serve.RuntimeConfig{
 			Registry: reg, Model: name, Batch: batch,
 			Net: net, Seed: *seed, SleepNet: *sleepNet,
@@ -84,7 +87,8 @@ func run(args []string) error {
 	}
 
 	for _, info := range reg.Snapshot() {
-		line := fmt.Sprintf("serving %-15s v%d  %s  %d params", info.Name, info.Version, info.Kind, info.Params)
+		line := fmt.Sprintf("serving %-15s v%d  %-8s %-15s %d params",
+			info.Name, info.Version, info.Kind, info.Algorithm, info.Params)
 		if info.Compressed {
 			line += fmt.Sprintf("  (%.1fx compressed)", info.Ratio)
 		}
@@ -107,9 +111,10 @@ func parseNetwork(s string) (mobile.Network, error) {
 	}
 }
 
-// installModels trains three servables on one synthetic task: a plain MLP, a
-// Deep-Compressed copy of it (loaded through the registry's compression
-// path), and a split/early-exit cascade.
+// installModels trains four servables on one synthetic task, one per
+// backend family: a plain MLP (DenseBackend), a Deep-Compressed copy of it
+// (loaded through the registry's compression path), a split/early-exit
+// cascade (CascadeBackend), and a random forest (BaselineBackend).
 func installModels(reg *serve.Registry, sparsity float64, bits int, seed int64) error {
 	fb, err := data.GenerateFedBench(data.FedBenchConfig{Samples: 800, Classes: classes, Dim: inputDim, Seed: seed})
 	if err != nil {
@@ -124,7 +129,11 @@ func installModels(reg *serve.Registry, sparsity float64, bits int, seed int64) 
 	if err := core.TrainCentralized(model, fb.X, fb.Labels, classes, 4, seed); err != nil {
 		return err
 	}
-	if _, err := reg.Install("mlp", &serve.Servable{Net: model}); err != nil {
+	mlp, err := serve.NewDenseBackend(model)
+	if err != nil {
+		return err
+	}
+	if _, err := reg.Install("mlp", mlp); err != nil {
 		return err
 	}
 
@@ -133,12 +142,12 @@ func installModels(reg *serve.Registry, sparsity float64, bits int, seed int64) 
 	if err != nil {
 		return err
 	}
-	err = reg.Register("mlp-compressed", func() (*serve.Servable, error) {
+	err = reg.Register("mlp-compressed", func() (serve.Backend, error) {
 		m, _, err := core.NewMLP(core.MLPSpec{In: inputDim, Hidden: []int{64, 32}, Classes: classes, Seed: seed})
 		if err != nil {
 			return nil, err
 		}
-		return &serve.Servable{Net: m}, nil
+		return serve.NewDenseBackend(m)
 	})
 	if err != nil {
 		return err
@@ -173,7 +182,26 @@ func installModels(reg *serve.Registry, sparsity float64, bits int, seed int64) 
 	if err := cascade.TrainExit(fb.X, fb.Labels, classes, exitCfg); err != nil {
 		return err
 	}
-	if _, err := reg.Install("cascade", &serve.Servable{Cascade: cascade}); err != nil {
+	cb, err := serve.NewCascadeBackend(cascade)
+	if err != nil {
+		return err
+	}
+	if _, err := reg.Install("cascade", cb); err != nil {
+		return err
+	}
+
+	// Random-forest baseline behind the same batcher.
+	forest := baselines.NewRandomForest()
+	forest.NumTrees = 25
+	forest.Seed = seed
+	if err := forest.Fit(fb.X, fb.Labels, classes); err != nil {
+		return err
+	}
+	fbk, err := serve.NewBaselineBackend(forest, inputDim)
+	if err != nil {
+		return err
+	}
+	if _, err := reg.Install("forest", fbk); err != nil {
 		return err
 	}
 	return nil

@@ -12,32 +12,48 @@
 // # Serving runtime
 //
 // internal/serve turns the algorithmic pieces into a concurrent
-// model-serving system, flowing registry -> batcher -> executor:
+// model-serving system built around one seam, the Backend interface
+// (Describe, InputDim, RunBatch, Params, Close). Three implementations
+// ship: DenseBackend (any nn.Sequential, including Deep-Compressed output,
+// placed local or cloud by the internal/mobile cost model), CascadeBackend
+// (split/early-exit cascades from internal/split — confident rows answer at
+// the on-device exit, the rest are perturbed and finished cloud-side over
+// the simulated uplink), and BaselineBackend (any fitted internal/baselines
+// classifier behind the same batcher). Adding a model family to the serving
+// system means implementing Backend and nothing else.
 //
-//   - Registry names, versions, and hot-swaps servable models. A Servable
-//     is either a plain nn.Sequential or a split/early-exit cascade
-//     (internal/split). Weights travel as nn.SaveWeights blobs — Register an
+// Around the seam, the flow is registry -> batcher -> backend:
+//
+//   - Registry names, versions, and hot-swaps backends. Weights travel as
+//     nn.SaveWeights blobs into Param-bearing backends — Register an
 //     architecture factory and Load blobs into it (LoadCompressed routes
 //     them through the internal/compress Deep Compression pipeline first),
-//     or Install an in-process model directly. Reads are lock-free; swaps
-//     take effect at the next batch boundary.
+//     or Install an in-process backend directly (the only path for
+//     parameter-less baselines). Reads are lock-free; swaps take effect at
+//     the next batch boundary, and a bounded version history keeps recently
+//     replaced versions resolvable for version-pinned requests.
 //   - Batcher coalesces single-row requests into tensor batches under a
 //     latency budget: a batch flushes when it reaches MaxBatch rows or
 //     MaxDelay after its first request, whichever comes first, and a worker
-//     pool sized to GOMAXPROCS executes flushed batches.
-//   - Executor consults the internal/mobile placement cost model per batch.
-//     Plain models run local or cloud (cheapest feasible); cascades run the
-//     device-side layers, answer rows whose early-exit confidence clears the
-//     threshold on-device (short-circuiting the uplink entirely when every
-//     row exits), and finish the rest cloud-side through the perturbed
-//     split pipeline, simulating the transfer.
+//     pool sized to GOMAXPROCS executes flushed batches. Rows whose
+//     RequestOptions differ are split into uniform sub-batches at flush
+//     time, so a backend always sees one options set per call.
+//   - Executor resolves the requested (current or pinned) version and runs
+//     the batch through that version's Backend under a shared ExecEnv
+//     (device/cloud/network cost model plus the serialized perturbation
+//     RNG).
+//
+// Per-request options thread end to end from the HTTP body to RunBatch:
+// top_k (class-probability breakdown), version (registry pin), no_perturb
+// (skip the cascade's DP perturbation while still billing the uplink).
 //
 // Runtime wires the three together for one model and Server exposes any
 // number of runtimes over HTTP/JSON (POST /v1/predict, GET /v1/stats with
 // p50/p99 latency, throughput and batch occupancy via internal/metrics,
 // GET /v1/models). cmd/mobiledlserve is the standalone server binary;
-// examples/serving is the in-process quickstart; BenchmarkServeThroughput
-// in bench_test.go measures requests/sec at max batch sizes 1/8/32.
+// examples/serving is the in-process quickstart serving all three backend
+// kinds; BenchmarkServeThroughput in bench_test.go measures requests/sec at
+// max batch sizes 1/8/32.
 //
 // # Performance conventions
 //

@@ -193,15 +193,7 @@ func (m *GradientBoosting) Predict(x *tensor.Matrix) ([]int, error) {
 	out := make([]int, x.Rows())
 	scores := make([]float64, m.classes)
 	for i := range out {
-		row := x.Row(i)
-		for c := range scores {
-			scores[c] = 0
-		}
-		for _, round := range m.trees {
-			for c, tree := range round {
-				scores[c] += m.Eta * tree.predict(row)
-			}
-		}
+		m.scoreRow(x.Row(i), scores)
 		best, bestV := 0, math.Inf(-1)
 		for c, v := range scores {
 			if v > bestV {
@@ -211,4 +203,32 @@ func (m *GradientBoosting) Predict(x *tensor.Matrix) ([]int, error) {
 		out[i] = best
 	}
 	return out, nil
+}
+
+// PredictBatch implements Classifier: softmax over the ensemble logits.
+func (m *GradientBoosting) PredictBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
+	if len(m.trees) == 0 {
+		return nil, ErrNotFitted
+	}
+	logits := tensor.New(x.Rows(), m.classes)
+	for i := 0; i < x.Rows(); i++ {
+		m.scoreRow(x.Row(i), logits.Row(i))
+	}
+	return tensor.Softmax(logits), nil
+}
+
+// Classes implements Classifier.
+func (m *GradientBoosting) Classes() int { return m.classes }
+
+// scoreRow accumulates the ensemble's per-class logits for one sample into
+// scores (len m.classes, overwritten).
+func (m *GradientBoosting) scoreRow(row []float64, scores []float64) {
+	for c := range scores {
+		scores[c] = 0
+	}
+	for _, round := range m.trees {
+		for c, tree := range round {
+			scores[c] += m.Eta * tree.predict(row)
+		}
+	}
 }

@@ -3,6 +3,11 @@
 // linear one-vs-rest SVM, a CART decision tree, a random forest, and an
 // XGBoost-style second-order gradient-boosted tree ensemble. All are
 // from-scratch, stdlib-only implementations.
+//
+// Every model satisfies the shared Classifier interface (Fit, PredictBatch,
+// Classes, Predict, Name), which is the seam the serving runtime's
+// BaselineBackend adapts: any fitted Classifier can be registered and served
+// through the same batcher/executor path as the neural models.
 package baselines
 
 import (
@@ -12,17 +17,27 @@ import (
 	"mobiledl/internal/tensor"
 )
 
-// ErrNotFitted is returned by Predict before Fit has been called.
+// ErrNotFitted is returned by Predict/PredictBatch before Fit has been called.
 var ErrNotFitted = errors.New("baselines: model not fitted")
 
 // ErrInput reports invalid training input.
 var ErrInput = errors.New("baselines: invalid input")
 
-// Classifier is the common interface over all baseline models.
+// Classifier is the common interface over all baseline models — the single
+// seam batch consumers (experiments tables, the serving BaselineBackend)
+// program against.
 type Classifier interface {
 	// Fit trains on x (samples x features) with integer labels in [0, classes).
 	Fit(x *tensor.Matrix, labels []int, classes int) error
-	// Predict returns the predicted class per row of x.
+	// PredictBatch returns per-row class scores as a freshly allocated
+	// x.Rows() x Classes() matrix. Each row is a probability distribution
+	// (non-negative, summing to 1); margin models (SVM, boosting) report a
+	// softmax over their raw scores, so treat those as uncalibrated
+	// confidences rather than true posteriors.
+	PredictBatch(x *tensor.Matrix) (*tensor.Matrix, error)
+	// Classes returns the class count fixed at Fit time (0 before Fit).
+	Classes() int
+	// Predict returns the predicted (argmax) class per row of x.
 	Predict(x *tensor.Matrix) ([]int, error)
 	// Name returns the display name used in reproduced tables.
 	Name() string

@@ -1,0 +1,81 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestClassifierConformance pins down the contract every Classifier must
+// satisfy so the serving BaselineBackend can adapt any of them blindly:
+// Classes is 0 before Fit and the fitted class count after; PredictBatch
+// errors with ErrNotFitted before Fit and afterwards returns a rows x
+// Classes() matrix whose rows are probability distributions consistent with
+// Predict's argmax.
+func TestClassifierConformance(t *testing.T) {
+	const classes = 3
+	x, labels := blobs(11, 240, classes, 5, 0.5)
+	models := []func() Classifier{
+		func() Classifier { return NewLogisticRegression() },
+		func() Classifier { return NewLinearSVM() },
+		func() Classifier { return NewDecisionTree() },
+		func() Classifier { return NewRandomForest() },
+		func() Classifier { return NewGradientBoosting() },
+	}
+	for _, mk := range models {
+		m := mk()
+		t.Run(m.Name(), func(t *testing.T) {
+			if got := m.Classes(); got != 0 {
+				t.Fatalf("Classes() before Fit = %d, want 0", got)
+			}
+			if _, err := m.PredictBatch(x); !errors.Is(err, ErrNotFitted) {
+				t.Fatalf("PredictBatch before Fit: %v, want ErrNotFitted", err)
+			}
+			if err := m.Fit(x, labels, classes); err != nil {
+				t.Fatal(err)
+			}
+			if got := m.Classes(); got != classes {
+				t.Fatalf("Classes() after Fit = %d, want %d", got, classes)
+			}
+
+			probs, err := m.PredictBatch(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if probs.Rows() != x.Rows() || probs.Cols() != classes {
+				t.Fatalf("PredictBatch shape %dx%d, want %dx%d",
+					probs.Rows(), probs.Cols(), x.Rows(), classes)
+			}
+			preds, err := m.Predict(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			correct := 0
+			for i := 0; i < probs.Rows(); i++ {
+				row := probs.Row(i)
+				sum := 0.0
+				for _, p := range row {
+					if p < 0 || p > 1+1e-9 || math.IsNaN(p) {
+						t.Fatalf("row %d: probability %v out of [0,1]", i, p)
+					}
+					sum += p
+				}
+				if math.Abs(sum-1) > 1e-6 {
+					t.Fatalf("row %d: probabilities sum to %v", i, sum)
+				}
+				// Predict and PredictBatch must agree on a clear winner; allow
+				// exact ties to resolve either way.
+				if probs.At(i, preds[i]) < probs.At(i, probs.ArgMaxRow(i))-1e-12 {
+					t.Fatalf("row %d: Predict chose class %d but PredictBatch prefers %d",
+						i, preds[i], probs.ArgMaxRow(i))
+				}
+				if preds[i] == labels[i] {
+					correct++
+				}
+			}
+			if acc := float64(correct) / float64(len(labels)); acc < 0.85 {
+				t.Fatalf("train accuracy %v on separable blobs", acc)
+			}
+		})
+	}
+}

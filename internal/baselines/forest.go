@@ -138,3 +138,26 @@ func (m *RandomForest) Predict(x *tensor.Matrix) ([]int, error) {
 	}
 	return out, nil
 }
+
+// PredictBatch implements Classifier: the mean of the trees' leaf
+// distributions (soft voting), so each row sums to 1.
+func (m *RandomForest) PredictBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
+	if len(m.trees) == 0 {
+		return nil, ErrNotFitted
+	}
+	out := tensor.New(x.Rows(), m.classes)
+	inv := 1 / float64(len(m.trees))
+	for i := 0; i < x.Rows(); i++ {
+		row := x.Row(i)
+		dst := out.Row(i)
+		for _, tree := range m.trees {
+			for c, p := range tree.PredictProba(row) {
+				dst[c] += p * inv
+			}
+		}
+	}
+	return out, nil
+}
+
+// Classes implements Classifier.
+func (m *RandomForest) Classes() int { return m.classes }

@@ -15,7 +15,8 @@ type LogisticRegression struct {
 	L2     float64
 	Seed   int64
 
-	w *tensor.Matrix // (features+1) x classes, last row is bias
+	w       *tensor.Matrix // (features+1) x classes, last row is bias
+	classes int
 }
 
 var _ Classifier = (*LogisticRegression)(nil)
@@ -34,6 +35,7 @@ func (m *LogisticRegression) Fit(x *tensor.Matrix, labels []int, classes int) er
 	if err := validateFit(x, labels, classes); err != nil {
 		return err
 	}
+	m.classes = classes
 	xb := appendBias(x)
 	rng := rand.New(rand.NewSource(m.Seed))
 	m.w = tensor.RandNormal(rng, xb.Cols(), classes, 0, 0.01)
@@ -79,6 +81,21 @@ func (m *LogisticRegression) Predict(x *tensor.Matrix) ([]int, error) {
 	return argmaxRows(logits), nil
 }
 
+// PredictBatch implements Classifier: softmax class posteriors.
+func (m *LogisticRegression) PredictBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
+	if m.w == nil {
+		return nil, ErrNotFitted
+	}
+	logits, err := tensor.MatMul(appendBias(x), m.w)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.Softmax(logits), nil
+}
+
+// Classes implements Classifier.
+func (m *LogisticRegression) Classes() int { return m.classes }
+
 // LinearSVM is a one-vs-rest linear support vector machine trained with
 // SGD on the L2-regularized hinge loss (Pegasos-style).
 type LinearSVM struct {
@@ -86,7 +103,8 @@ type LinearSVM struct {
 	Epochs int
 	Seed   int64
 
-	w *tensor.Matrix // (features+1) x classes
+	w       *tensor.Matrix // (features+1) x classes
+	classes int
 }
 
 var _ Classifier = (*LinearSVM)(nil)
@@ -104,6 +122,7 @@ func (m *LinearSVM) Fit(x *tensor.Matrix, labels []int, classes int) error {
 	if err := validateFit(x, labels, classes); err != nil {
 		return err
 	}
+	m.classes = classes
 	xb := appendBias(x)
 	rng := rand.New(rand.NewSource(m.Seed))
 	m.w = tensor.New(xb.Cols(), classes)
@@ -152,6 +171,22 @@ func (m *LinearSVM) Predict(x *tensor.Matrix) ([]int, error) {
 	}
 	return argmaxRows(scores), nil
 }
+
+// PredictBatch implements Classifier: softmax over the per-class margins
+// (argmax-preserving, but not calibrated posteriors).
+func (m *LinearSVM) PredictBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
+	if m.w == nil {
+		return nil, ErrNotFitted
+	}
+	scores, err := tensor.MatMul(appendBias(x), m.w)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.Softmax(scores), nil
+}
+
+// Classes implements Classifier.
+func (m *LinearSVM) Classes() int { return m.classes }
 
 func appendBias(x *tensor.Matrix) *tensor.Matrix {
 	out := tensor.New(x.Rows(), x.Cols()+1)

@@ -192,6 +192,22 @@ func (m *DecisionTree) Predict(x *tensor.Matrix) ([]int, error) {
 	return out, nil
 }
 
+// PredictBatch implements Classifier: each row gets its leaf's class
+// distribution.
+func (m *DecisionTree) PredictBatch(x *tensor.Matrix) (*tensor.Matrix, error) {
+	if m.root == nil {
+		return nil, ErrNotFitted
+	}
+	out := tensor.New(x.Rows(), m.classes)
+	for i := 0; i < x.Rows(); i++ {
+		copy(out.Row(i), m.PredictProba(x.Row(i)))
+	}
+	return out, nil
+}
+
+// Classes implements Classifier.
+func (m *DecisionTree) Classes() int { return m.classes }
+
 // PredictProba returns per-class leaf distributions (used by the forest).
 func (m *DecisionTree) PredictProba(row []float64) []float64 {
 	node := m.root

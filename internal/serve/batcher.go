@@ -40,13 +40,15 @@ func (c *BatcherConfig) fill() {
 	}
 }
 
-// ExecFunc runs one coalesced tensor batch and returns one Result per row.
-// The batch matrix is pooled: it is only valid for the duration of the call
-// and must not be retained (or returned) by the executor.
-type ExecFunc func(batch *tensor.Matrix) ([]Result, error)
+// ExecFunc runs one coalesced tensor batch under uniform request options and
+// returns one Result per row. The batch matrix is pooled: it is only valid
+// for the duration of the call and must not be retained (or returned) by the
+// executor.
+type ExecFunc func(ctx context.Context, batch *tensor.Matrix, opts RequestOptions) ([]Result, error)
 
 type request struct {
 	features []float64
+	opts     RequestOptions
 	enqueued time.Time
 	resp     chan response
 }
@@ -59,7 +61,10 @@ type response struct {
 // Batcher coalesces single-row inference requests into tensor batches: a
 // collector goroutine accumulates requests and flushes on max-batch-size or
 // on the latency-budget timer, whichever fires first; flushed batches feed a
-// worker pool that calls the ExecFunc. One Batcher serves one model runtime.
+// worker pool that calls the ExecFunc. Requests with different
+// execution-relevant options (version pin, no_perturb, top_k) are split into
+// separate exec calls at flush time, so one ExecFunc invocation always sees
+// uniform options. One Batcher serves one model runtime.
 type Batcher struct {
 	cfg  BatcherConfig
 	dim  int
@@ -67,6 +72,13 @@ type Batcher struct {
 
 	in      chan *request
 	batches chan []*request
+
+	// ctx is the execution context handed to every ExecFunc call; cancel
+	// fires in Close so backends that honor cancellation (e.g. ones calling
+	// external processes) cannot hang shutdown. The shipped backends ignore
+	// it, so queued requests still drain to completion on Close.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu     sync.RWMutex // guards closed vs in-flight Submit sends
 	closed bool
@@ -82,12 +94,15 @@ func NewBatcher(dim int, cfg BatcherConfig, exec ExecFunc, stats *collector) (*B
 		return nil, fmt.Errorf("%w: batcher needs a positive dim and an exec func", ErrServe)
 	}
 	cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
 	b := &Batcher{
 		cfg:     cfg,
 		dim:     dim,
 		exec:    exec,
 		in:      make(chan *request, cfg.QueueCap),
 		batches: make(chan []*request, cfg.Workers),
+		ctx:     ctx,
+		cancel:  cancel,
 		stats:   stats,
 	}
 	b.wg.Add(1 + cfg.Workers)
@@ -98,14 +113,18 @@ func NewBatcher(dim int, cfg BatcherConfig, exec ExecFunc, stats *collector) (*B
 	return b, nil
 }
 
-// Submit enqueues one feature row and blocks until its result is ready, the
-// context is done, or the batcher closes.
-func (b *Batcher) Submit(ctx context.Context, features []float64) (Result, error) {
+// Submit enqueues one feature row with its request options and blocks until
+// the result is ready, the context is done, or the batcher closes.
+func (b *Batcher) Submit(ctx context.Context, features []float64, opts RequestOptions) (Result, error) {
 	if len(features) != b.dim {
 		return Result{}, fmt.Errorf("%w: got %d features, model expects %d", ErrRequest, len(features), b.dim)
 	}
+	if err := opts.Validate(); err != nil {
+		return Result{}, err
+	}
 	r := &request{
 		features: features,
+		opts:     opts,
 		enqueued: time.Now(),
 		resp:     make(chan response, 1), // buffered: a worker send never blocks on an abandoned request
 	}
@@ -129,8 +148,12 @@ func (b *Batcher) Submit(ctx context.Context, features []float64) (Result, error
 	}
 }
 
-// Close stops intake, drains pending requests, and waits for workers.
-// Requests still queued are served; Submit after Close returns ErrClosed.
+// Close stops intake, cancels the execution context, drains pending
+// requests, and waits for workers. Requests still queued are served by the
+// shipped (cancellation-ignoring) backends; a backend that honors the
+// context may instead abort them with its cancellation error, which is what
+// keeps a hung external backend from wedging shutdown. Submit after Close
+// returns ErrClosed.
 func (b *Batcher) Close() {
 	b.mu.Lock()
 	if b.closed {
@@ -140,6 +163,7 @@ func (b *Batcher) Close() {
 	b.closed = true
 	close(b.in)
 	b.mu.Unlock()
+	b.cancel()
 	b.wg.Wait()
 }
 
@@ -195,7 +219,40 @@ func (b *Batcher) worker() {
 	}
 }
 
+// runBatch executes one flushed accumulation. The common case — every row
+// carrying default (or identical) options — runs as a single tensor batch
+// with no extra work; mixed options partition into per-options sub-batches
+// so each ExecFunc call stays uniform.
 func (b *Batcher) runBatch(reqs []*request) {
+	uniform := true
+	for _, r := range reqs[1:] {
+		if r.opts != reqs[0].opts {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		b.execGroup(reqs)
+		return
+	}
+	// Partition preserving arrival order within each group. Options structs
+	// are comparable, so they key the map directly.
+	groups := make(map[RequestOptions][]*request)
+	var order []RequestOptions
+	for _, r := range reqs {
+		if _, ok := groups[r.opts]; !ok {
+			order = append(order, r.opts)
+		}
+		groups[r.opts] = append(groups[r.opts], r)
+	}
+	for _, opts := range order {
+		b.execGroup(groups[opts])
+	}
+}
+
+// execGroup assembles one uniform-options group into a pooled matrix, runs
+// the ExecFunc, and fans results (or the error) back out to the submitters.
+func (b *Batcher) execGroup(reqs []*request) {
 	start := time.Now()
 	// Assemble into a pooled matrix: each worker recycles the previous
 	// batch's buffer instead of allocating one per flush.
@@ -203,7 +260,7 @@ func (b *Batcher) runBatch(reqs []*request) {
 	for i, r := range reqs {
 		copy(batch.Row(i), r.features)
 	}
-	results, err := b.exec(batch)
+	results, err := b.exec(b.ctx, batch, reqs[0].opts)
 	tensor.Put(batch)
 	if err == nil && len(results) != len(reqs) {
 		err = fmt.Errorf("%w: executor returned %d results for %d rows", ErrServe, len(results), len(reqs))

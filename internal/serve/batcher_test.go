@@ -12,19 +12,21 @@ import (
 )
 
 // echoExec returns each row's first feature as its class and records the
-// batch sizes it saw.
+// batch sizes and options it saw.
 type echoExec struct {
 	mu    sync.Mutex
 	sizes []int
+	opts  []RequestOptions
 }
 
-func (e *echoExec) run(batch *tensor.Matrix) ([]Result, error) {
+func (e *echoExec) run(_ context.Context, batch *tensor.Matrix, opts RequestOptions) ([]Result, error) {
 	e.mu.Lock()
 	e.sizes = append(e.sizes, batch.Rows())
+	e.opts = append(e.opts, opts)
 	e.mu.Unlock()
 	out := make([]Result, batch.Rows())
 	for i := range out {
-		out[i] = Result{Class: int(batch.At(i, 0))}
+		out[i] = Result{Class: int(batch.At(i, 0)), ModelVersion: opts.Version}
 	}
 	return out, nil
 }
@@ -33,6 +35,12 @@ func (e *echoExec) batchSizes() []int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return append([]int(nil), e.sizes...)
+}
+
+func (e *echoExec) seenOpts() []RequestOptions {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]RequestOptions(nil), e.opts...)
 }
 
 func TestBatcherFullBatchFlush(t *testing.T) {
@@ -50,7 +58,7 @@ func TestBatcherFullBatchFlush(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := b.Submit(context.Background(), []float64{float64(i), 0})
+			res, err := b.Submit(context.Background(), []float64{float64(i), 0}, RequestOptions{})
 			if err != nil {
 				t.Error(err)
 				return
@@ -81,7 +89,7 @@ func TestBatcherTimeoutFlush(t *testing.T) {
 	defer b.Close()
 
 	start := time.Now()
-	res, err := b.Submit(context.Background(), []float64{7})
+	res, err := b.Submit(context.Background(), []float64{7}, RequestOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,11 +100,69 @@ func TestBatcherTimeoutFlush(t *testing.T) {
 		t.Fatalf("flushed after %v, before the %v latency budget", elapsed, 5*time.Millisecond)
 	}
 	// The timer must re-arm for the next partial batch.
-	if _, err := b.Submit(context.Background(), []float64{8}); err != nil {
+	if _, err := b.Submit(context.Background(), []float64{8}, RequestOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if sizes := exec.batchSizes(); len(sizes) != 2 {
 		t.Fatalf("executor saw batches %v, want two timeout flushes", sizes)
+	}
+}
+
+// TestBatcherSplitsMixedOptions pins down the grouping contract: rows with
+// different execution-relevant options in one flush run as separate uniform
+// exec calls, in arrival order of first appearance, while identical options
+// stay coalesced.
+func TestBatcherSplitsMixedOptions(t *testing.T) {
+	exec := &echoExec{}
+	b, err := NewBatcher(1, BatcherConfig{MaxBatch: 6, MaxDelay: time.Minute, Workers: 1}, exec.run, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// 6 submitters: rows 0,2,4 default options; rows 1,3,5 pinned to v2.
+	var wg sync.WaitGroup
+	results := make([]Result, 6)
+	errs := make([]error, 6)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opts := RequestOptions{}
+			if i%2 == 1 {
+				opts.Version = 2
+			}
+			results[i], errs[i] = b.Submit(context.Background(), []float64{float64(i)}, opts)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+	}
+	for i, res := range results {
+		if res.Class != i {
+			t.Fatalf("row %d answered %d", i, res.Class)
+		}
+		wantVersion := 0
+		if i%2 == 1 {
+			wantVersion = 2
+		}
+		if res.ModelVersion != wantVersion {
+			t.Fatalf("row %d executed under version %d, want %d", i, res.ModelVersion, wantVersion)
+		}
+		if res.BatchSize != 3 {
+			t.Fatalf("row %d ran in sub-batch of %d, want 3", i, res.BatchSize)
+		}
+	}
+	sizes := exec.batchSizes()
+	if len(sizes) != 2 || sizes[0] != 3 || sizes[1] != 3 {
+		t.Fatalf("executor saw batches %v, want two uniform groups of 3", sizes)
+	}
+	seen := exec.seenOpts()
+	if seen[0] == seen[1] {
+		t.Fatalf("both groups ran under the same options: %+v", seen)
 	}
 }
 
@@ -106,15 +172,21 @@ func TestBatcherValidationAndClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.Submit(context.Background(), []float64{1}); !errors.Is(err, ErrRequest) {
+	if _, err := b.Submit(context.Background(), []float64{1}, RequestOptions{}); !errors.Is(err, ErrRequest) {
 		t.Fatalf("dim mismatch: %v", err)
 	}
-	if _, err := b.Submit(context.Background(), []float64{1, 2, 3}); err != nil {
+	if _, err := b.Submit(context.Background(), []float64{1, 2, 3}, RequestOptions{TopK: -1}); !errors.Is(err, ErrRequest) {
+		t.Fatalf("negative top_k: %v", err)
+	}
+	if _, err := b.Submit(context.Background(), []float64{1, 2, 3}, RequestOptions{Version: -2}); !errors.Is(err, ErrRequest) {
+		t.Fatalf("negative version: %v", err)
+	}
+	if _, err := b.Submit(context.Background(), []float64{1, 2, 3}, RequestOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	b.Close()
 	b.Close() // idempotent
-	if _, err := b.Submit(context.Background(), []float64{1, 2, 3}); !errors.Is(err, ErrClosed) {
+	if _, err := b.Submit(context.Background(), []float64{1, 2, 3}, RequestOptions{}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after close: %v", err)
 	}
 }
@@ -122,7 +194,7 @@ func TestBatcherValidationAndClose(t *testing.T) {
 func TestBatcherExecErrorFansOut(t *testing.T) {
 	boom := errors.New("boom")
 	b, err := NewBatcher(1, BatcherConfig{MaxBatch: 2, MaxDelay: time.Minute, Workers: 1},
-		func(*tensor.Matrix) ([]Result, error) { return nil, boom }, nil)
+		func(context.Context, *tensor.Matrix, RequestOptions) ([]Result, error) { return nil, boom }, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +205,7 @@ func TestBatcherExecErrorFansOut(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := b.Submit(context.Background(), []float64{1}); errors.Is(err, boom) {
+			if _, err := b.Submit(context.Background(), []float64{1}, RequestOptions{}); errors.Is(err, boom) {
 				failures.Add(1)
 			}
 		}()
@@ -144,10 +216,43 @@ func TestBatcherExecErrorFansOut(t *testing.T) {
 	}
 }
 
+// TestBatcherCloseCancelsExecContext pins the shutdown seam: a backend that
+// honors the execution context unblocks when Close fires, so a hung
+// external backend cannot wedge Close's wait.
+func TestBatcherCloseCancelsExecContext(t *testing.T) {
+	b, err := NewBatcher(1, BatcherConfig{MaxBatch: 1, MaxDelay: time.Millisecond, Workers: 1},
+		func(ctx context.Context, m *tensor.Matrix, _ RequestOptions) ([]Result, error) {
+			<-ctx.Done() // a ctx-honoring backend stuck on external work
+			return nil, ctx.Err()
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(context.Background(), []float64{1}, RequestOptions{})
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond) // let the batch reach the stuck exec
+	closed := make(chan struct{})
+	go func() {
+		b.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close wedged on a ctx-honoring backend")
+	}
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("aborted request error: %v", err)
+	}
+}
+
 func TestBatcherContextCancel(t *testing.T) {
 	block := make(chan struct{})
 	b, err := NewBatcher(1, BatcherConfig{MaxBatch: 1, MaxDelay: time.Millisecond, Workers: 1},
-		func(m *tensor.Matrix) ([]Result, error) {
+		func(_ context.Context, m *tensor.Matrix, _ RequestOptions) ([]Result, error) {
 			<-block
 			return make([]Result, m.Rows()), nil
 		}, nil)
@@ -157,7 +262,7 @@ func TestBatcherContextCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := b.Submit(ctx, []float64{1})
+		_, err := b.Submit(ctx, []float64{1}, RequestOptions{})
 		done <- err
 	}()
 	time.Sleep(2 * time.Millisecond)

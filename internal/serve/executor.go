@@ -1,22 +1,21 @@
 package serve
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
-	"sync"
 	"time"
 
 	"mobiledl/internal/mobile"
-	"mobiledl/internal/split"
 	"mobiledl/internal/tensor"
 )
 
 // ExecutorConfig wires an executor to a model source and a simulated
 // device/network environment.
 type ExecutorConfig struct {
-	// Source yields the model version to run a batch against; hot swaps
-	// take effect at the next batch boundary.
-	Source func() (*Loaded, error)
+	// Source resolves the model version a batch runs against: version 0 is
+	// the current one (hot swaps take effect at the next batch boundary),
+	// anything else is a pin that must still be retained by the registry.
+	Source func(version int) (*Loaded, error)
 	// Device, Cloud, and Net parameterize the placement cost model
 	// (defaults: midrange phone, cloud server, WiFi).
 	Device mobile.Device
@@ -30,23 +29,14 @@ type ExecutorConfig struct {
 	SleepNet bool
 }
 
-// Executor runs coalesced batches. Per batch it re-reads the current model
-// version, consults the placement cost model for the cheapest feasible
-// strategy the servable supports, and executes that path:
-//
-//   - plain model, local placement: one forward pass, no traffic
-//   - plain model, cloud placement: one forward pass plus the modeled
-//     raw-input uplink and result downlink per row
-//   - cascade, split placement: device-side transform + early-exit check;
-//     rows that clear the confidence threshold short-circuit (no upload),
-//     the rest are perturbed and finished by the cloud half
-//   - cascade, local placement: the whole cascade runs on-device (offline
-//     networks force this), so no perturbation and no traffic
+// Executor runs coalesced batches: it resolves the requested model version,
+// hands the batch to that version's Backend under the shared ExecEnv, and
+// stamps serving-level facts (model version, simulated sleep) onto the
+// results. All model-family behavior — placement choice, early exits,
+// perturbation — lives behind the Backend seam.
 type Executor struct {
 	cfg ExecutorConfig
-
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	env *ExecEnv
 }
 
 // NewExecutor validates the config and applies environment defaults.
@@ -54,176 +44,35 @@ func NewExecutor(cfg ExecutorConfig) (*Executor, error) {
 	if cfg.Source == nil {
 		return nil, fmt.Errorf("%w: executor needs a model source", ErrServe)
 	}
-	if cfg.Device.MACsPerSec == 0 {
-		cfg.Device = mobile.MidrangePhone()
-	}
-	if cfg.Cloud.MACsPerSec == 0 {
-		cfg.Cloud = mobile.CloudServer()
-	}
-	if cfg.Net.Kind == 0 {
-		cfg.Net = mobile.WiFiNetwork()
-	}
-	return &Executor{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+	return &Executor{
+		cfg: cfg,
+		env: NewExecEnv(cfg.Device, cfg.Cloud, cfg.Net, cfg.Seed),
+	}, nil
 }
 
-// Execute implements ExecFunc.
-func (e *Executor) Execute(batch *tensor.Matrix) ([]Result, error) {
-	loaded, err := e.cfg.Source()
+// Env exposes the executor's simulated environment (shared, read-only
+// cost-model fields).
+func (e *Executor) Env() *ExecEnv { return e.env }
+
+// Execute implements ExecFunc: one coalesced batch, uniform options.
+func (e *Executor) Execute(ctx context.Context, batch *tensor.Matrix, opts RequestOptions) ([]Result, error) {
+	loaded, err := e.cfg.Source(opts.Version)
 	if err != nil {
 		return nil, err
 	}
-	s := loaded.Servable
-	plan, err := e.choosePlacement(loaded)
-	if err != nil {
-		return nil, err
-	}
-	var results []Result
-	if s.Net != nil {
-		results, err = e.runPlain(s, plan, batch)
-	} else {
-		results, err = e.runCascade(s, plan, batch)
-	}
+	br, err := loaded.Backend.RunBatch(ctx, e.env, batch, opts)
 	if err != nil {
 		return nil, err
 	}
 	var maxNet float64
-	for i := range results {
-		results[i].Placement = plan.Placement
-		results[i].ModelVersion = loaded.Version
-		if results[i].SimNetMs > maxNet {
-			maxNet = results[i].SimNetMs
+	for i := range br.Results {
+		br.Results[i].ModelVersion = loaded.Version
+		if br.Results[i].SimNetMs > maxNet {
+			maxNet = br.Results[i].SimNetMs
 		}
 	}
 	if e.cfg.SleepNet && maxNet > 0 {
 		time.Sleep(time.Duration(maxNet * float64(time.Millisecond)))
 	}
-	return results, nil
-}
-
-// choosePlacement consults the placement cost model for the strategy the
-// servable executes this batch under. Plain models take the cheaper feasible
-// of local vs cloud. Cascades are split deployments by construction — the
-// deep half lives in the cloud and the perturbation calibration assumes
-// offloading — so they serve under the split placement whenever it is
-// feasible and fall back to fully-local execution (e.g. offline) otherwise.
-func (e *Executor) choosePlacement(loaded *Loaded) (mobile.PlanCost, error) {
-	plans := mobile.ComparePlacements(e.cfg.Device, e.cfg.Cloud, e.cfg.Net, loaded.workload)
-	if loaded.Servable.Cascade != nil {
-		for _, want := range []mobile.Placement{mobile.PlaceSplit, mobile.PlaceLocal} {
-			for _, p := range plans {
-				if p.Feasible && p.Placement == want {
-					return p, nil
-				}
-			}
-		}
-	} else {
-		for _, p := range plans { // sorted feasible-first, cheapest-first
-			if p.Feasible && (p.Placement == mobile.PlaceLocal || p.Placement == mobile.PlaceCloud) {
-				return p, nil
-			}
-		}
-	}
-	return mobile.PlanCost{}, fmt.Errorf("%w: no feasible placement (network %s)", ErrServe, e.cfg.Net.Kind)
-}
-
-func (e *Executor) runPlain(s *Servable, plan mobile.PlanCost, batch *tensor.Matrix) ([]Result, error) {
-	preds, err := s.Net.Predict(batch)
-	if err != nil {
-		return nil, err
-	}
-	var netMs float64
-	if plan.Placement == mobile.PlaceCloud {
-		netMs, err = e.transferMs(plan.UpBytes, plan.DownBytes)
-		if err != nil {
-			return nil, err
-		}
-	}
-	results := make([]Result, len(preds))
-	for i, c := range preds {
-		results[i] = Result{Class: c, SimNetMs: netMs}
-	}
-	return results, nil
-}
-
-func (e *Executor) runCascade(s *Servable, plan mobile.PlanCost, batch *tensor.Matrix) ([]Result, error) {
-	cascade := s.Cascade
-	rep, err := cascade.Pipeline.TransformClean(batch)
-	if err != nil {
-		return nil, err
-	}
-	// rep is freshly produced per batch (TransformClean never aliases its
-	// input) and consumed entirely below, so it feeds the pool afterwards —
-	// each worker's next batch reuses it instead of allocating.
-	defer tensor.Put(rep)
-	preds, offload, err := cascade.ExitLocally(rep)
-	if err != nil {
-		return nil, err
-	}
-	results := make([]Result, len(preds))
-	for i, c := range preds {
-		results[i] = Result{Class: c, Local: true}
-	}
-	if len(offload) == 0 {
-		return results, nil
-	}
-
-	// Unconfident rows go through the cloud half. Under the split placement
-	// they pay the privacy perturbation and the modeled transfer; under the
-	// local placement (e.g. offline) the cloud network runs on-device with
-	// neither. Local is still "answered by the early exit", so these rows
-	// report Local=false either way.
-	perturb := plan.Placement != mobile.PlaceLocal
-	cloudPreds, err := e.cloudFinish(cascade, rep, offload, perturb)
-	if err != nil {
-		return nil, err
-	}
-	var netMs float64
-	if perturb {
-		if netMs, err = e.transferMs(plan.UpBytes, plan.DownBytes); err != nil {
-			return nil, err
-		}
-	}
-	for k, i := range offload {
-		results[i] = Result{Class: cloudPreds[k], Local: false, SimNetMs: netMs}
-	}
-	return results, nil
-}
-
-// cloudFinish gathers the offloaded rows of rep into a pooled buffer and
-// classifies them with the cascade's cloud network — perturbed (the split
-// upload path) or clean (fully-local execution). Only the perturbation's
-// RNG draws are serialized; the deep cloud forward pass runs concurrently
-// across workers (inference is stateless per the Layer contract).
-func (e *Executor) cloudFinish(cascade *split.EarlyExit, rep *tensor.Matrix, offload []int, perturb bool) ([]int, error) {
-	sub := tensor.Get(len(offload), rep.Cols())
-	defer tensor.Put(sub)
-	if err := rep.SelectRowsInto(sub, offload); err != nil {
-		return nil, err
-	}
-	in := sub
-	if perturb {
-		e.rngMu.Lock()
-		pert, err := cascade.Pipeline.Perturb(e.rng, sub)
-		e.rngMu.Unlock()
-		if err != nil {
-			return nil, err
-		}
-		defer tensor.Put(pert)
-		in = pert
-	}
-	return cascade.Pipeline.Cloud.Predict(in)
-}
-
-// transferMs models one row's round trip: upload upBytes, download
-// downBytes on the configured network.
-func (e *Executor) transferMs(upBytes, downBytes int64) (float64, error) {
-	up, err := e.cfg.Net.TransferMillis(upBytes, true)
-	if err != nil {
-		return 0, err
-	}
-	down, err := e.cfg.Net.TransferMillis(downBytes, false)
-	if err != nil {
-		return 0, err
-	}
-	return up + down, nil
+	return br.Results, nil
 }

@@ -9,37 +9,41 @@ import (
 	"time"
 
 	"mobiledl/internal/compress"
-	"mobiledl/internal/mobile"
 	"mobiledl/internal/nn"
 )
 
 // Factory builds a fresh, architecture-complete (but untrained) instance of
-// a servable. Architectures are code, not data: the registry stores
+// a backend. Architectures are code, not data: the registry stores
 // factories and moves only weights, so a weight blob from a mismatched
 // architecture fails loudly at load time.
-type Factory func() (*Servable, error)
+type Factory func() (Backend, error)
+
+// versionHistory is how many versions (including the current one) each
+// registry entry retains, so requests pinned to a recent version keep
+// resolving across hot swaps.
+const versionHistory = 4
 
 // Loaded is one immutable installed version of a model. Executors grab a
 // *Loaded per batch; hot swaps install a new one without disturbing batches
 // already running against the old.
 type Loaded struct {
-	Name     string
-	Version  int
-	Servable *Servable
+	Name    string
+	Version int
+	Backend Backend
+	// Info caches Backend.Describe so the per-batch hot path never calls
+	// into the backend for metadata.
+	Info BackendInfo
 	// Sizes is set when the model went through the compression pipeline.
 	Sizes    *compress.StageSizes
-	Params   int
 	LoadedAt time.Time
-	// workload is the per-sample placement-planning workload, computed once
-	// at install time so the per-batch hot path doesn't rebuild it.
-	workload mobile.Workload
 }
 
 // ModelInfo is the registry listing entry for the /v1/models endpoint.
 type ModelInfo struct {
 	Name       string    `json:"name"`
 	Version    int       `json:"version"`
-	Kind       string    `json:"kind"` // "plain" or "cascade"
+	Kind       string    `json:"kind"` // "dense", "cascade", or "baseline"
+	Algorithm  string    `json:"algorithm,omitempty"`
 	Params     int       `json:"params"`
 	Compressed bool      `json:"compressed"`
 	Ratio      float64   `json:"compression_ratio,omitempty"`
@@ -51,11 +55,15 @@ type regEntry struct {
 	writeMu sync.Mutex // serializes installs; version is guarded by it
 	version int
 	cur     atomic.Pointer[Loaded]
+
+	histMu  sync.RWMutex
+	history map[int]*Loaded // last versionHistory versions, incl. current
 }
 
-// Registry names, versions, and hot-swaps servable models. Register/Load/
+// Registry names, versions, and hot-swaps serving backends. Register/Load/
 // Install take a write path guarded per entry; Get is a lock-free atomic
-// load so the serving hot path never contends with swaps.
+// load so the serving hot path never contends with swaps. A bounded history
+// of past versions stays resolvable for version-pinned requests.
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*regEntry
@@ -78,7 +86,7 @@ func (r *Registry) Register(name string, factory Factory) error {
 	if _, ok := r.entries[name]; ok {
 		return fmt.Errorf("%w: model %q already registered", ErrServe, name)
 	}
-	r.entries[name] = &regEntry{factory: factory}
+	r.entries[name] = &regEntry{factory: factory, history: make(map[int]*Loaded)}
 	return nil
 }
 
@@ -92,68 +100,81 @@ func (r *Registry) entry(name string) (*regEntry, error) {
 	return e, nil
 }
 
-// Load builds a fresh instance from the factory, reads a SaveWeights blob
-// into it, and atomically installs it as the new current version. In-flight
+// Load builds a fresh backend from the factory, reads a SaveWeights blob
+// into its parameters, and atomically installs it as the new current
+// version. Only Param-bearing backends (dense, cascade) load; in-flight
 // batches keep the version they started with.
 func (r *Registry) Load(name string, weights io.Reader) (int, error) {
 	e, err := r.entry(name)
 	if err != nil {
 		return 0, err
 	}
-	s, err := r.build(e)
+	b, err := r.build(e)
 	if err != nil {
 		return 0, err
 	}
-	if err := nn.LoadWeights(weights, s.Params()); err != nil {
+	ps := b.Params()
+	if len(ps) == 0 {
+		return 0, fmt.Errorf("%w: backend %q has no parameters; weight hot swap needs a Param-bearing backend", ErrServe, name)
+	}
+	if err := nn.LoadWeights(weights, ps); err != nil {
 		return 0, fmt.Errorf("serve: load %q: %w", name, err)
 	}
-	return r.install(e, name, s, nil)
+	return r.install(e, name, b, nil)
 }
 
 // LoadCompressed loads weights like Load, then pushes the model through the
 // Deep Compression pipeline and installs the reconstructed (pruned +
-// quantized) network, recording the stage sizes. Only plain models compress;
-// cascades keep their privacy-calibrated halves intact.
+// quantized) network, recording the stage sizes. Only dense backends
+// compress; cascades keep their privacy-calibrated halves intact and
+// baselines have nothing to quantize.
 func (r *Registry) LoadCompressed(name string, weights io.Reader, cfg compress.PipelineConfig) (int, error) {
 	e, err := r.entry(name)
 	if err != nil {
 		return 0, err
 	}
-	s, err := r.build(e)
+	b, err := r.build(e)
 	if err != nil {
 		return 0, err
 	}
-	if s.Net == nil {
-		return 0, fmt.Errorf("%w: model %q is a cascade; compression serves plain models only", ErrServe, name)
+	db, ok := b.(*DenseBackend)
+	if !ok {
+		return 0, fmt.Errorf("%w: model %q is a %s backend; compression serves dense models only",
+			ErrServe, name, b.Describe().Kind)
 	}
-	if err := nn.LoadWeights(weights, s.Params()); err != nil {
+	if err := nn.LoadWeights(weights, db.Params()); err != nil {
 		return 0, fmt.Errorf("serve: load %q: %w", name, err)
 	}
-	res, err := compress.RunPipeline(s.Net, cfg)
+	res, err := compress.RunPipeline(db.Net(), cfg)
 	if err != nil {
 		return 0, fmt.Errorf("serve: compress %q: %w", name, err)
 	}
-	return r.install(e, name, &Servable{Net: res.Model}, &res.Sizes)
+	nb, err := NewDenseBackend(res.Model)
+	if err != nil {
+		return 0, err
+	}
+	return r.install(e, name, nb, &res.Sizes)
 }
 
 // Install registers name on first use (with no factory) and installs an
-// already-built servable directly — the path for models trained in-process.
-// Subsequent Installs under the same name hot-swap and bump the version.
-func (r *Registry) Install(name string, s *Servable) (int, error) {
-	if err := s.Validate(); err != nil {
-		return 0, err
-	}
+// already-built backend directly — the path for models trained in-process,
+// and the only path for baseline backends. Subsequent Installs under the
+// same name hot-swap and bump the version.
+func (r *Registry) Install(name string, b Backend) (int, error) {
 	if name == "" {
 		return 0, fmt.Errorf("%w: install needs a name", ErrServe)
+	}
+	if b == nil {
+		return 0, fmt.Errorf("%w: install needs a backend", ErrServe)
 	}
 	r.mu.Lock()
 	e, ok := r.entries[name]
 	if !ok {
-		e = &regEntry{}
+		e = &regEntry{history: make(map[int]*Loaded)}
 		r.entries[name] = e
 	}
 	r.mu.Unlock()
-	return r.install(e, name, s, nil)
+	return r.install(e, name, b, nil)
 }
 
 // Get returns the current version of a model; lock-free after the map read.
@@ -165,6 +186,27 @@ func (r *Registry) Get(name string) (*Loaded, error) {
 	l := e.cur.Load()
 	if l == nil {
 		return nil, fmt.Errorf("%w: model %q registered but no weights loaded", ErrServe, name)
+	}
+	return l, nil
+}
+
+// GetVersion resolves a version-pinned lookup: version 0 means current
+// (lock-free), any other version must still be in the entry's bounded
+// history. An unknown pin is a client error (ErrRequest).
+func (r *Registry) GetVersion(name string, version int) (*Loaded, error) {
+	if version == 0 {
+		return r.Get(name)
+	}
+	e, err := r.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	e.histMu.RLock()
+	l := e.history[version]
+	e.histMu.RUnlock()
+	if l == nil {
+		return nil, fmt.Errorf("%w: model %q has no version %d (the registry retains the last %d)",
+			ErrRequest, name, version, versionHistory)
 	}
 	return l, nil
 }
@@ -182,11 +224,9 @@ func (r *Registry) Snapshot() []ModelInfo {
 	infos := make([]ModelInfo, 0, len(loaded))
 	for _, l := range loaded {
 		info := ModelInfo{
-			Name: l.Name, Version: l.Version, Kind: "plain",
-			Params: l.Params, LoadedAt: l.LoadedAt,
-		}
-		if l.Servable.Cascade != nil {
-			info.Kind = "cascade"
+			Name: l.Name, Version: l.Version, Kind: l.Info.Kind,
+			Algorithm: l.Info.Algorithm, Params: l.Info.NumParams,
+			LoadedAt: l.LoadedAt,
 		}
 		if l.Sizes != nil {
 			info.Compressed = true
@@ -205,55 +245,86 @@ func (r *Registry) Checkpoint(name string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return nn.EncodeWeights(l.Servable)
+	if len(l.Backend.Params()) == 0 {
+		return nil, fmt.Errorf("%w: backend %q has no parameters to checkpoint", ErrServe, name)
+	}
+	return nn.EncodeWeights(l.Backend)
 }
 
-func (r *Registry) build(e *regEntry) (*Servable, error) {
+// Close closes every backend the registry still retains (current and
+// historical versions). The registry must not serve afterwards.
+func (r *Registry) Close() error {
+	r.mu.RLock()
+	entries := make([]*regEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	var firstErr error
+	for _, e := range entries {
+		e.histMu.RLock()
+		versions := make([]*Loaded, 0, len(e.history))
+		for _, l := range e.history {
+			versions = append(versions, l)
+		}
+		e.histMu.RUnlock()
+		for _, l := range versions {
+			if err := l.Backend.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+func (r *Registry) build(e *regEntry) (Backend, error) {
 	if e.factory == nil {
 		return nil, fmt.Errorf("%w: model has no architecture factory (Install-only)", ErrServe)
 	}
-	s, err := e.factory()
+	b, err := e.factory()
 	if err != nil {
 		return nil, fmt.Errorf("serve: factory: %w", err)
 	}
-	if err := s.Validate(); err != nil {
-		return nil, err
+	if b == nil {
+		return nil, fmt.Errorf("%w: factory returned no backend", ErrServe)
 	}
-	return s, nil
+	return b, nil
 }
 
 // install atomically publishes a new version. It refuses swaps that change
 // the served interface (input width or class count): the batcher's feature
 // dim is fixed at runtime construction, so such a swap would fail every
 // subsequent request instead of failing the swap.
-func (r *Registry) install(e *regEntry, name string, s *Servable, sizes *compress.StageSizes) (int, error) {
-	newIn, err := s.InputDim()
-	if err != nil {
-		return 0, err
-	}
-	newClasses, err := s.Classes()
-	if err != nil {
-		return 0, err
-	}
-	w, err := s.workload()
-	if err != nil {
-		return 0, err
+func (r *Registry) install(e *regEntry, name string, b Backend, sizes *compress.StageSizes) (int, error) {
+	info := b.Describe()
+	if info.InputDim <= 0 || info.Classes <= 0 {
+		return 0, fmt.Errorf("%w: backend for %q describes %d inputs, %d classes",
+			ErrServe, name, info.InputDim, info.Classes)
 	}
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
 	if cur := e.cur.Load(); cur != nil {
-		curIn, err1 := cur.Servable.InputDim()
-		curClasses, err2 := cur.Servable.Classes()
-		if err1 == nil && err2 == nil && (curIn != newIn || curClasses != newClasses) {
+		if cur.Info.InputDim != info.InputDim || cur.Info.Classes != info.Classes {
 			return 0, fmt.Errorf("%w: hot swap for %q changes interface %d->%d inputs, %d->%d classes",
-				ErrServe, name, curIn, newIn, curClasses, newClasses)
+				ErrServe, name, cur.Info.InputDim, info.InputDim, cur.Info.Classes, info.Classes)
 		}
 	}
 	e.version++
-	e.cur.Store(&Loaded{
-		Name: name, Version: e.version, Servable: s, Sizes: sizes,
-		Params: nn.NumParams(s.Params()), LoadedAt: time.Now(),
-		workload: w,
-	})
+	l := &Loaded{
+		Name: name, Version: e.version, Backend: b, Info: info,
+		Sizes: sizes, LoadedAt: time.Now(),
+	}
+	e.histMu.Lock()
+	if e.history == nil {
+		e.history = make(map[int]*Loaded)
+	}
+	e.history[e.version] = l
+	// Eviction drops the reference without calling Backend.Close: the
+	// evicted version may still be serving an in-flight batch. Backends
+	// holding real resources are released by Registry.Close at shutdown
+	// (Server.Close calls it).
+	delete(e.history, e.version-versionHistory)
+	e.histMu.Unlock()
+	e.cur.Store(l)
 	return e.version, nil
 }

@@ -11,35 +11,50 @@ import (
 	"mobiledl/internal/split"
 )
 
-// mlpFactory returns a Factory for a fixed small architecture; each call
-// yields fresh (seeded) weights so loads must come from the blob.
+// mlpNet builds a fixed small architecture with seeded weights.
+func mlpNet(seed int64) *nn.Sequential {
+	rng := rand.New(rand.NewSource(seed))
+	return nn.NewSequential(
+		nn.NewDense(rng, 8, 16), nn.NewReLU(),
+		nn.NewDense(rng, 16, 4),
+	)
+}
+
+// mlpFactory returns a Factory for the fixed architecture; each call yields
+// fresh (seeded) weights so loads must come from the blob.
 func mlpFactory(seed int64) Factory {
-	return func() (*Servable, error) {
-		rng := rand.New(rand.NewSource(seed))
-		net := nn.NewSequential(
-			nn.NewDense(rng, 8, 16), nn.NewReLU(),
-			nn.NewDense(rng, 16, 4),
-		)
-		return &Servable{Net: net}, nil
+	return func() (Backend, error) { return NewDenseBackend(mlpNet(seed)) }
+}
+
+func newCascade(seed int64) (*split.EarlyExit, error) {
+	rng := rand.New(rand.NewSource(seed))
+	local := nn.NewSequential(nn.NewDense(rng, 8, 6), nn.NewTanh())
+	cloud := nn.NewSequential(nn.NewDense(rng, 6, 12), nn.NewReLU(), nn.NewDense(rng, 12, 4))
+	exit := nn.NewSequential(nn.NewDense(rng, 6, 4))
+	p, err := split.New(split.Config{Local: local, Cloud: cloud, NullRate: 0.1, NoiseSigma: 0.5, Bound: 2})
+	if err != nil {
+		return nil, err
 	}
+	return split.NewEarlyExit(p, exit, 0.9)
 }
 
 func cascadeFactory(seed int64) Factory {
-	return func() (*Servable, error) {
-		rng := rand.New(rand.NewSource(seed))
-		local := nn.NewSequential(nn.NewDense(rng, 8, 6), nn.NewTanh())
-		cloud := nn.NewSequential(nn.NewDense(rng, 6, 12), nn.NewReLU(), nn.NewDense(rng, 12, 4))
-		exit := nn.NewSequential(nn.NewDense(rng, 6, 4))
-		p, err := split.New(split.Config{Local: local, Cloud: cloud, NullRate: 0.1, NoiseSigma: 0.5, Bound: 2})
+	return func() (Backend, error) {
+		ee, err := newCascade(seed)
 		if err != nil {
 			return nil, err
 		}
-		ee, err := split.NewEarlyExit(p, exit, 0.9)
-		if err != nil {
-			return nil, err
-		}
-		return &Servable{Cascade: ee}, nil
+		return NewCascadeBackend(ee)
 	}
+}
+
+func mustDense(t *testing.T, seed int64) *DenseBackend {
+	t.Helper()
+	b, err := NewDenseBackend(mlpNet(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }
 
 func TestRegistryLoadHotSwapRoundTrip(t *testing.T) {
@@ -52,11 +67,8 @@ func TestRegistryLoadHotSwapRoundTrip(t *testing.T) {
 	}
 
 	// Author a "trained" model out of band and serialize it.
-	src, err := mlpFactory(99)()
-	if err != nil {
-		t.Fatal(err)
-	}
-	blob, err := nn.EncodeWeights(src.Net)
+	src := mustDense(t, 99)
+	blob, err := nn.EncodeWeights(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,15 +85,15 @@ func TestRegistryLoadHotSwapRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Loaded weights must equal the source, not the factory seed's.
-	srcW := src.Net.Params()[0].Value
-	gotW := got.Servable.Net.Params()[0].Value
+	srcW := src.Params()[0].Value
+	gotW := got.Backend.Params()[0].Value
 	if !gotW.Equal(srcW, 0) {
 		t.Fatal("loaded weights differ from serialized source")
 	}
 
 	// Hot swap: perturb the source, checkpoint, load again.
-	src.Net.Params()[0].Value.Fill(0.125)
-	blob2, err := nn.EncodeWeights(src.Net)
+	src.Params()[0].Value.Fill(0.125)
+	blob2, err := nn.EncodeWeights(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,11 +108,11 @@ func TestRegistryLoadHotSwapRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if swapped.Servable.Net.Params()[0].Value.At(0, 0) != 0.125 {
+	if swapped.Backend.Params()[0].Value.At(0, 0) != 0.125 {
 		t.Fatal("hot swap did not install new weights")
 	}
 	// The pre-swap snapshot is immutable and still serves.
-	if got.Version != 1 || got.Servable.Net.Params()[0].Value.At(0, 0) == 0.125 {
+	if got.Version != 1 || got.Backend.Params()[0].Value.At(0, 0) == 0.125 {
 		t.Fatal("old loaded version was mutated by the swap")
 	}
 
@@ -111,6 +123,42 @@ func TestRegistryLoadHotSwapRoundTrip(t *testing.T) {
 	}
 	if _, err := reg.Load("mlp", bytes.NewReader(ck)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRegistryVersionHistory(t *testing.T) {
+	reg := NewRegistry()
+	for i := 0; i < versionHistory+2; i++ {
+		if _, err := reg.Install("m", mustDense(t, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur, err := reg.Get("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Version != versionHistory+2 {
+		t.Fatalf("current version %d, want %d", cur.Version, versionHistory+2)
+	}
+	// Version 0 resolves to current.
+	if l, err := reg.GetVersion("m", 0); err != nil || l.Version != cur.Version {
+		t.Fatalf("GetVersion 0: %v, v%d", err, l.Version)
+	}
+	// The last versionHistory versions stay pinned.
+	for v := cur.Version - versionHistory + 1; v <= cur.Version; v++ {
+		l, err := reg.GetVersion("m", v)
+		if err != nil {
+			t.Fatalf("retained version %d: %v", v, err)
+		}
+		if l.Version != v {
+			t.Fatalf("pin %d resolved to v%d", v, l.Version)
+		}
+	}
+	// Evicted and never-existed versions are client errors.
+	for _, v := range []int{1, cur.Version + 1} {
+		if _, err := reg.GetVersion("m", v); !errors.Is(err, ErrRequest) {
+			t.Fatalf("version %d: err=%v, want ErrRequest", v, err)
+		}
 	}
 }
 
@@ -134,13 +182,17 @@ func TestRegistryCascadeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := src.Cascade.Exit.Params()[0].Value
-	have := got.Servable.Cascade.Exit.Params()[0].Value
+	cb, ok := got.Backend.(*CascadeBackend)
+	if !ok {
+		t.Fatalf("loaded backend is %T, want *CascadeBackend", got.Backend)
+	}
+	want := src.(*CascadeBackend).Cascade().Exit.Params()[0].Value
+	have := cb.Cascade().Exit.Params()[0].Value
 	if !have.Equal(want, 0) {
 		t.Fatal("cascade exit weights did not round-trip")
 	}
-	if got.Servable.Cascade == nil || got.Servable.Net != nil {
-		t.Fatal("cascade servable shape lost in load")
+	if got.Info.Kind != "cascade" {
+		t.Fatalf("cascade kind lost in load: %+v", got.Info)
 	}
 }
 
@@ -149,8 +201,8 @@ func TestRegistryLoadCompressed(t *testing.T) {
 	if err := reg.Register("mlp", mlpFactory(1)); err != nil {
 		t.Fatal(err)
 	}
-	src, _ := mlpFactory(7)()
-	blob, err := nn.EncodeWeights(src.Net)
+	src := mustDense(t, 7)
+	blob, err := nn.EncodeWeights(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +222,7 @@ func TestRegistryLoadCompressed(t *testing.T) {
 		t.Fatalf("compressed load should record a >1x ratio, got %+v", got.Sizes)
 	}
 	infos := reg.Snapshot()
-	if len(infos) != 1 || !infos[0].Compressed || infos[0].Kind != "plain" {
+	if len(infos) != 1 || !infos[0].Compressed || infos[0].Kind != "dense" {
 		t.Fatalf("snapshot: %+v", infos)
 	}
 
@@ -212,14 +264,13 @@ func TestRegistryErrors(t *testing.T) {
 		t.Fatal("mismatched architecture should fail to load")
 	}
 	// Install-only entries have no factory to Load through.
-	s, _ := mlpFactory(2)()
-	if _, err := reg.Install("direct", s); err != nil {
+	if _, err := reg.Install("direct", mustDense(t, 2)); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := reg.Load("direct", bytes.NewReader(nil)); !errors.Is(err, ErrServe) {
 		t.Fatalf("load without factory: %v", err)
 	}
-	if _, err := reg.Install("bad", &Servable{}); !errors.Is(err, ErrServe) {
-		t.Fatalf("install invalid servable: %v", err)
+	if _, err := reg.Install("bad", nil); !errors.Is(err, ErrServe) {
+		t.Fatalf("install nil backend: %v", err)
 	}
 }

@@ -10,7 +10,7 @@ import (
 
 // RuntimeConfig wires one registered model into a serving runtime.
 type RuntimeConfig struct {
-	// Registry and Model name the servable; the model must already have a
+	// Registry and Model name the backend; the model must already have a
 	// loaded version (its input width fixes the batcher's feature dim).
 	Registry *Registry
 	Model    string
@@ -26,8 +26,8 @@ type RuntimeConfig struct {
 }
 
 // Runtime is the served form of one model: an executor fed by an adaptive
-// batcher, reading the registry's current version at every batch boundary
-// so hot swaps apply without a restart.
+// batcher, resolving the registry's current (or a pinned) version at every
+// batch boundary so hot swaps apply without a restart.
 type Runtime struct {
 	name     string
 	reg      *Registry
@@ -47,12 +47,8 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	dim, err := loaded.Servable.InputDim()
-	if err != nil {
-		return nil, err
-	}
 	exec, err := NewExecutor(ExecutorConfig{
-		Source:   func() (*Loaded, error) { return cfg.Registry.Get(cfg.Model) },
+		Source:   func(version int) (*Loaded, error) { return cfg.Registry.GetVersion(cfg.Model, version) },
 		Device:   cfg.Device,
 		Cloud:    cfg.Cloud,
 		Net:      cfg.Net,
@@ -63,7 +59,7 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 		return nil, err
 	}
 	stats := newCollector()
-	batcher, err := NewBatcher(dim, cfg.Batch, exec.Execute, stats)
+	batcher, err := NewBatcher(loaded.Info.InputDim, cfg.Batch, exec.Execute, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -81,12 +77,18 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 // Name returns the served model's registry name.
 func (rt *Runtime) Name() string { return rt.name }
 
-// Predict serves one feature row through the batcher and executor,
-// recording end-to-end latency. The modeled network time is added on top of
-// the measured wall time unless the executor already slept it.
+// Predict serves one feature row with default options.
 func (rt *Runtime) Predict(ctx context.Context, features []float64) (Result, error) {
+	return rt.PredictWith(ctx, features, RequestOptions{})
+}
+
+// PredictWith serves one feature row under explicit request options through
+// the batcher and executor, recording end-to-end latency. The modeled
+// network time is added on top of the measured wall time unless the
+// executor already slept it.
+func (rt *Runtime) PredictWith(ctx context.Context, features []float64, opts RequestOptions) (Result, error) {
 	start := time.Now()
-	res, err := rt.batcher.Submit(ctx, features)
+	res, err := rt.batcher.Submit(ctx, features, opts)
 	if err != nil {
 		return Result{}, err
 	}

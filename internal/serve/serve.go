@@ -1,127 +1,67 @@
 // Package serve is the concurrent model-serving runtime over the paper's
-// algorithmic pieces: a versioned model registry with lock-free hot swap
-// (reusing internal/nn serialization and the internal/compress pipeline), an
-// adaptive request batcher that coalesces inference requests into tensor
-// batches under a latency budget, and a split-aware executor that consults
-// internal/mobile placement costs per batch and — for split deployments —
-// runs the device-side layers, checks the on-device early exit, and finishes
-// only the unconfident rows cloud-side through internal/split, simulating
-// the uplink in between. The registry -> batcher -> executor seam is where
-// future scaling work (sharding, caching, alternate backends) plugs in.
+// algorithmic pieces, organized around one seam: the Backend interface.
+// A Backend is anything that can describe its serving interface and classify
+// a coalesced tensor batch under a simulated mobile/cloud environment; the
+// package ships three implementations —
 //
-// A Runtime wires the three together for one registered model; Server
-// exposes any number of runtimes over HTTP/JSON (POST /v1/predict,
-// GET /v1/stats, GET /v1/models) with p50/p99 latency, throughput, and
-// batch-occupancy stats backed by internal/metrics.
+//   - DenseBackend: any nn.Sequential served whole, including the
+//     reconstructed networks the internal/compress Deep Compression
+//     pipeline emits, placed local or cloud by the internal/mobile cost
+//     model;
+//   - CascadeBackend: a split/early-exit cascade (internal/split) whose
+//     device-side layers answer confident rows at the on-device exit and
+//     whose unconfident rows are perturbed and finished cloud-side over the
+//     simulated uplink;
+//   - BaselineBackend: any fitted internal/baselines classifier (tree,
+//     forest, linear, boosting) behind the same batcher.
+//
+// Around the seam: a versioned Registry with lock-free hot swap (weight
+// blobs move via internal/nn serialization into Param-bearing backends; a
+// bounded version history keeps pinned versions resolvable), an adaptive
+// Batcher that coalesces requests into tensor batches under a latency
+// budget — grouping rows by execution-relevant RequestOptions — and an
+// Executor that resolves the (possibly pinned) model version per batch and
+// hands it to the backend. Per-request options (top_k probabilities,
+// version pin, no_perturb) thread from the HTTP layer through the batcher
+// into Backend.RunBatch.
+//
+// A Runtime wires registry, batcher, and executor together for one
+// registered model; Server exposes any number of runtimes over HTTP/JSON
+// (POST /v1/predict, GET /v1/stats, GET /v1/models) with p50/p99 latency,
+// throughput, and batch-occupancy stats backed by internal/metrics.
 package serve
 
 import (
 	"errors"
-	"fmt"
 
 	"mobiledl/internal/mobile"
-	"mobiledl/internal/nn"
-	"mobiledl/internal/split"
 )
 
 // ErrServe reports invalid serving configurations or server-side faults.
 var ErrServe = errors.New("serve: invalid configuration")
 
-// ErrRequest reports a malformed client request (e.g. wrong feature width);
-// the HTTP layer maps it to 400 where ErrServe maps to 500.
+// ErrRequest reports a malformed client request (e.g. wrong feature width,
+// unknown version pin); the HTTP layer maps it to 400 where ErrServe maps
+// to 500.
 var ErrRequest = errors.New("serve: invalid request")
 
-// ErrClosed is returned by Submit/Predict after the runtime has shut down.
+// ErrClosed is returned by Submit/Predict after the runtime has shut down;
+// the HTTP layer maps it to 503.
 var ErrClosed = errors.New("serve: runtime closed")
 
-// Servable is one deployable model: either a plain network served whole
-// (Net) or a split/early-exit cascade (Cascade) whose local half runs
-// "on-device" and whose cloud half serves offloaded rows. Exactly one of
-// the two must be set.
-type Servable struct {
-	Net     *nn.Sequential
-	Cascade *split.EarlyExit
-}
-
-// Validate checks the exactly-one-of invariant.
-func (s *Servable) Validate() error {
-	if s == nil || (s.Net == nil) == (s.Cascade == nil) {
-		return fmt.Errorf("%w: servable needs exactly one of Net or Cascade", ErrServe)
-	}
-	return nil
-}
-
-// Params returns the servable's full parameter list in a fixed order (for a
-// cascade: local, cloud, exit) — the unit that SaveWeights/LoadWeights
-// round-trips through the registry.
-func (s *Servable) Params() []*nn.Param {
-	if s.Net != nil {
-		return s.Net.Params()
-	}
-	var ps []*nn.Param
-	ps = append(ps, s.Cascade.Pipeline.Local.Params()...)
-	ps = append(ps, s.Cascade.Pipeline.Cloud.Params()...)
-	ps = append(ps, s.Cascade.Exit.Params()...)
-	return ps
-}
-
-// InputDim returns the feature width the servable expects (the In of its
-// first Dense layer), or an error for architectures without one.
-func (s *Servable) InputDim() (int, error) {
-	net := s.Net
-	if net == nil {
-		net = s.Cascade.Pipeline.Local
-	}
-	for _, l := range net.Layers() {
-		if d, ok := l.(*nn.Dense); ok {
-			return d.In(), nil
-		}
-	}
-	return 0, fmt.Errorf("%w: model has no dense layer to infer input width", ErrServe)
-}
-
-// Classes returns the output width (the Out of the last Dense layer of the
-// cloud-side or whole network).
-func (s *Servable) Classes() (int, error) {
-	net := s.Net
-	if net == nil {
-		net = s.Cascade.Pipeline.Cloud
-	}
-	classes := 0
-	for _, l := range net.Layers() {
-		if d, ok := l.(*nn.Dense); ok {
-			classes = d.Out()
-		}
-	}
-	if classes == 0 {
-		return 0, fmt.Errorf("%w: model has no dense layer to infer class count", ErrServe)
-	}
-	return classes, nil
-}
-
-// workload derives the per-sample placement-planning workload for the
-// servable (device share and upload payload filled in for cascades).
-func (s *Servable) workload() (mobile.Workload, error) {
-	in, err := s.InputDim()
-	if err != nil {
-		return mobile.Workload{}, err
-	}
-	classes, err := s.Classes()
-	if err != nil {
-		return mobile.Workload{}, err
-	}
-	if s.Net != nil {
-		return mobile.WorkloadFor(s.Net, nil, in, classes, 0), nil
-	}
-	p := s.Cascade.Pipeline
-	full := nn.NewSequential(append(append([]nn.Layer{}, p.Local.Layers()...), p.Cloud.Layers()...)...)
-	return mobile.WorkloadFor(full, p.Local, in, classes, p.RepDim(in)), nil
+// ClassProb is one class's probability in a top-K breakdown.
+type ClassProb struct {
+	Class int     `json:"class"`
+	Prob  float64 `json:"prob"`
 }
 
 // Result is the answer to one inference request.
 type Result struct {
 	// Class is the predicted label.
 	Class int
+	// Probs is the top-K class-probability breakdown, descending, when the
+	// request asked for one (RequestOptions.TopK > 0); nil otherwise.
+	Probs []ClassProb
 	// Local reports whether the row was answered by the on-device early
 	// exit (always false for plain models).
 	Local bool

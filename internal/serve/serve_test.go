@@ -31,8 +31,7 @@ func TestRuntimeConcurrentLoadWithHotSwap(t *testing.T) {
 	if err := reg.Register("mlp", mlpFactory(1)); err != nil {
 		t.Fatal(err)
 	}
-	src, _ := mlpFactory(11)()
-	blob, err := nn.EncodeWeights(src.Net)
+	blob, err := nn.EncodeWeights(mustDense(t, 11))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,8 +68,12 @@ func TestRuntimeConcurrentLoadWithHotSwap(t *testing.T) {
 		last := 0
 		for i := 0; i < 2; i++ {
 			time.Sleep(time.Millisecond)
-			s, _ := mlpFactory(int64(20 + i))()
-			v, err := reg.Install("mlp", s)
+			b, err := NewDenseBackend(mlpNet(int64(20 + i)))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			v, err := reg.Install("mlp", b)
 			if err != nil {
 				errCh <- err
 				return
@@ -102,13 +105,17 @@ func TestRuntimeConcurrentLoadWithHotSwap(t *testing.T) {
 
 func TestCascadeEarlyExitShortCircuit(t *testing.T) {
 	mk := func(threshold float64) *Runtime {
-		s, err := cascadeFactory(5)()
+		ee, err := newCascade(5)
 		if err != nil {
 			t.Fatal(err)
 		}
-		s.Cascade.Threshold = threshold
+		ee.Threshold = threshold
+		b, err := NewCascadeBackend(ee)
+		if err != nil {
+			t.Fatal(err)
+		}
 		reg := NewRegistry()
-		if _, err := reg.Install("cascade", s); err != nil {
+		if _, err := reg.Install("cascade", b); err != nil {
 			t.Fatal(err)
 		}
 		rt, err := NewRuntime(RuntimeConfig{
@@ -158,13 +165,17 @@ func TestCascadeEarlyExitShortCircuit(t *testing.T) {
 }
 
 func TestCascadeOfflineFallsBackToLocal(t *testing.T) {
-	s, err := cascadeFactory(5)()
+	ee, err := newCascade(5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Cascade.Threshold = 1 // would offload everything if a network existed
+	ee.Threshold = 1 // would offload everything if a network existed
+	b, err := NewCascadeBackend(ee)
+	if err != nil {
+		t.Fatal(err)
+	}
 	reg := NewRegistry()
-	if _, err := reg.Install("cascade", s); err != nil {
+	if _, err := reg.Install("cascade", b); err != nil {
 		t.Fatal(err)
 	}
 	rt, err := NewRuntime(RuntimeConfig{
@@ -195,8 +206,7 @@ func TestCascadeOfflineFallsBackToLocal(t *testing.T) {
 // Forward calls on the same layers (go test -race is the arbiter).
 func TestConcurrentWorkersShareModel(t *testing.T) {
 	reg := NewRegistry()
-	s, _ := mlpFactory(13)()
-	if _, err := reg.Install("mlp", s); err != nil {
+	if _, err := reg.Install("mlp", mustDense(t, 13)); err != nil {
 		t.Fatal(err)
 	}
 	rt, err := NewRuntime(RuntimeConfig{
@@ -234,17 +244,21 @@ func TestConcurrentWorkersShareModel(t *testing.T) {
 // a caller would see its answer flip. Run under -race via `make race`.
 func TestPooledBuffersUnderConcurrentPredict(t *testing.T) {
 	reg := NewRegistry()
-	s, err := cascadeFactory(5)()
+	ee, err := newCascade(5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Mid threshold: some rows exit locally, some offload — both gather
 	// paths run. Zero out the perturbation so offloaded answers are
 	// deterministic per row.
-	s.Cascade.Threshold = 0.5
-	s.Cascade.Pipeline.NullRate = 0
-	s.Cascade.Pipeline.NoiseSigma = 0
-	if _, err := reg.Install("cascade", s); err != nil {
+	ee.Threshold = 0.5
+	ee.Pipeline.NullRate = 0
+	ee.Pipeline.NoiseSigma = 0
+	b, err := NewCascadeBackend(ee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Install("cascade", b); err != nil {
 		t.Fatal(err)
 	}
 	rt, err := NewRuntime(RuntimeConfig{
@@ -295,13 +309,15 @@ var errResultFlip = errors.New("pooled buffers leaked between batches: same feat
 
 func TestHotSwapRejectsInterfaceChange(t *testing.T) {
 	reg := NewRegistry()
-	s, _ := mlpFactory(1)()
-	if _, err := reg.Install("m", s); err != nil {
+	if _, err := reg.Install("m", mustDense(t, 1)); err != nil {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(2))
-	narrow := nn.NewSequential(nn.NewDense(rng, 4, 4))
-	if _, err := reg.Install("m", &Servable{Net: narrow}); err == nil {
+	narrow, err := NewDenseBackend(nn.NewSequential(nn.NewDense(rng, 4, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Install("m", narrow); err == nil {
 		t.Fatal("swap changing input width must be rejected")
 	}
 	if got, _ := reg.Get("m"); got.Version != 1 {
@@ -313,13 +329,16 @@ func TestPlainPlacementFollowsCostModel(t *testing.T) {
 	// A big model on a slow device offloads to the cloud; verify the
 	// executor both picks that placement and bills the simulated transfer.
 	rng := rand.New(rand.NewSource(2))
-	big := nn.NewSequential(
+	big, err := NewDenseBackend(nn.NewSequential(
 		nn.NewDense(rng, 8, 512), nn.NewReLU(),
 		nn.NewDense(rng, 512, 512), nn.NewReLU(),
 		nn.NewDense(rng, 512, 4),
-	)
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
 	reg := NewRegistry()
-	if _, err := reg.Install("big", &Servable{Net: big}); err != nil {
+	if _, err := reg.Install("big", big); err != nil {
 		t.Fatal(err)
 	}
 	slow := mobile.MidrangePhone()
@@ -344,8 +363,7 @@ func TestPlainPlacementFollowsCostModel(t *testing.T) {
 
 func TestServerHTTP(t *testing.T) {
 	reg := NewRegistry()
-	s, _ := mlpFactory(9)()
-	if _, err := reg.Install("mlp", s); err != nil {
+	if _, err := reg.Install("mlp", mustDense(t, 9)); err != nil {
 		t.Fatal(err)
 	}
 	srv := NewServer(reg)
@@ -377,28 +395,12 @@ func TestServerHTTP(t *testing.T) {
 		if row.Class < 0 || row.Class >= 4 || row.ModelVersion != 1 {
 			t.Fatalf("bad row: %+v", row)
 		}
-	}
-
-	// Bad rows surface as 400s.
-	body, _ = json.Marshal(PredictRequest{Model: "mlp", Features: [][]float64{{1}}})
-	resp2, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp2.Body.Close()
-	if resp2.StatusCode != http.StatusBadRequest {
-		t.Fatalf("dim mismatch status %d, want 400", resp2.StatusCode)
-	}
-
-	// Unknown model is a 404.
-	body, _ = json.Marshal(PredictRequest{Model: "nope", Features: [][]float64{{1}}})
-	resp3, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp3.Body.Close()
-	if resp3.StatusCode != http.StatusNotFound {
-		t.Fatalf("unknown model status %d, want 404", resp3.StatusCode)
+		if row.Probs != nil {
+			t.Fatalf("default request must not carry probabilities: %+v", row)
+		}
+		if row.BatchSize < 1 {
+			t.Fatalf("row missing batch breakdown: %+v", row)
+		}
 	}
 
 	// Stats reflect the served rows.
@@ -415,7 +417,7 @@ func TestServerHTTP(t *testing.T) {
 		t.Fatalf("stats: %+v", stats["mlp"])
 	}
 
-	// Models listing shows the installed version.
+	// Models listing shows the installed version and backend kind.
 	resp5, err := http.Get(ts.URL + "/v1/models")
 	if err != nil {
 		t.Fatal(err)
@@ -425,7 +427,7 @@ func TestServerHTTP(t *testing.T) {
 	if err := json.NewDecoder(resp5.Body).Decode(&infos); err != nil {
 		t.Fatal(err)
 	}
-	if len(infos) != 1 || infos[0].Name != "mlp" || infos[0].Version != 1 {
+	if len(infos) != 1 || infos[0].Name != "mlp" || infos[0].Version != 1 || infos[0].Kind != "dense" {
 		t.Fatalf("models: %+v", infos)
 	}
 }

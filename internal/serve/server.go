@@ -10,13 +10,16 @@ import (
 
 // Server exposes one or more runtimes over HTTP/JSON:
 //
-//	POST /v1/predict  {"model":"m","features":[[...],...]}  -> predictions
+//	POST /v1/predict  {"model":"m","features":[[...],...],"options":{...}}
 //	GET  /v1/stats                                          -> per-model Stats
 //	GET  /v1/models                                         -> registry listing
 //	GET  /healthz                                           -> "ok"
 //
 // Rows of one predict call are submitted to the batcher individually, so
-// concurrent clients coalesce into shared tensor batches.
+// concurrent clients coalesce into shared tensor batches. The optional
+// "options" object carries per-request knobs: "top_k" (class-probability
+// breakdown), "version" (registry version pin), "no_perturb" (skip the
+// cascade privacy perturbation).
 type Server struct {
 	registry *Registry
 
@@ -36,13 +39,16 @@ func (s *Server) Add(rt *Runtime) {
 	s.mu.Unlock()
 }
 
-// Close closes every attached runtime.
+// Close closes every attached runtime (draining their in-flight batches),
+// then releases the registry's retained backends via Registry.Close — the
+// shutdown path for resource-holding Backend implementations.
 func (s *Server) Close() {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	for _, rt := range s.runtimes {
 		rt.Close()
 	}
+	s.mu.RUnlock()
+	_ = s.registry.Close()
 }
 
 func (s *Server) runtime(name string) (*Runtime, bool) {
@@ -68,17 +74,25 @@ func (s *Server) Handler() http.Handler {
 type PredictRequest struct {
 	Model    string      `json:"model"`
 	Features [][]float64 `json:"features"`
+	// Options applies to every row of the request.
+	Options RequestOptions `json:"options"`
 }
 
-// RowResult is one row's answer in a PredictResponse. The model version is
-// per row: during a hot swap, rows of one request can legitimately be
-// served by different versions.
+// RowResult is one row's answer in a PredictResponse: the prediction plus
+// the serving breakdown — where the row ran, which registry version answered
+// it, and how its latency decomposes into queueing, compute, and simulated
+// transfer. The model version is per row: during a hot swap, rows of one
+// request can legitimately be served by different versions.
 type RowResult struct {
-	Class        int     `json:"class"`
-	Local        bool    `json:"local"`
-	Placement    string  `json:"placement"`
-	SimNetMs     float64 `json:"sim_net_ms"`
-	ModelVersion int     `json:"model_version"`
+	Class        int         `json:"class"`
+	Probs        []ClassProb `json:"probs,omitempty"`
+	Local        bool        `json:"local"`
+	Placement    string      `json:"placement"`
+	ModelVersion int         `json:"model_version"`
+	BatchSize    int         `json:"batch_size"`
+	QueueMs      float64     `json:"queue_ms"`
+	ExecMs       float64     `json:"exec_ms"`
+	SimNetMs     float64     `json:"sim_net_ms"`
 }
 
 // PredictResponse is the /v1/predict reply.
@@ -90,13 +104,21 @@ type PredictResponse struct {
 // maxRowsPerRequest bounds the per-request fan-out (one goroutine per row).
 const maxRowsPerRequest = 1024
 
+// maxBodyBytes bounds the /v1/predict body (1024 rows of wide float64
+// features fit comfortably; anything bigger is a client error, not an
+// allocation).
+const maxBodyBytes = 8 << 20
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req PredictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		// Covers malformed JSON and bodies over maxBodyBytes alike: both are
+		// client faults, never a 500.
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
@@ -123,15 +145,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, row []float64) {
 			defer wg.Done()
-			results[i], errs[i] = rt.Predict(r.Context(), row)
+			results[i], errs[i] = rt.PredictWith(r.Context(), row, req.Options)
 		}(i, row)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			status := http.StatusInternalServerError
-			if errors.Is(err, ErrRequest) {
+			switch {
+			case errors.Is(err, ErrRequest):
 				status = http.StatusBadRequest
+			case errors.Is(err, ErrClosed):
+				status = http.StatusServiceUnavailable
 			}
 			httpError(w, status, err)
 			return
@@ -142,10 +167,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	for i, res := range results {
 		resp.Rows[i] = RowResult{
 			Class:        res.Class,
+			Probs:        res.Probs,
 			Local:        res.Local,
 			Placement:    res.Placement.String(),
-			SimNetMs:     res.SimNetMs,
 			ModelVersion: res.ModelVersion,
+			BatchSize:    res.BatchSize,
+			QueueMs:      res.QueueMs,
+			ExecMs:       res.ExecMs,
+			SimNetMs:     res.SimNetMs,
 		}
 	}
 	writeJSON(w, resp)

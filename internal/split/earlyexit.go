@@ -73,15 +73,24 @@ type ExitStats struct {
 // cascade; serving executors use it to short-circuit whole batches without
 // touching the network when every row exits.
 func (e *EarlyExit) ExitLocally(rep *tensor.Matrix) (preds []int, offload []int, err error) {
+	// Softmax into pooled scratch: the probabilities are consumed before the
+	// buffer is recycled, so the serving hot path sheds one garbage matrix
+	// per batch.
+	probs := tensor.Get(rep.Rows(), e.ExitClasses())
+	defer tensor.Put(probs)
+	return e.ExitLocallyInto(probs, rep)
+}
+
+// ExitLocallyInto is ExitLocally with the exit classifier's softmax written
+// into a caller-supplied probs matrix (rep.Rows() x ExitClasses()). Serving
+// backends use it to reuse the confidence distribution — e.g. for top-K
+// probability reporting — without a second forward pass. probs may be pooled
+// scratch; it is fully overwritten.
+func (e *EarlyExit) ExitLocallyInto(probs, rep *tensor.Matrix) (preds []int, offload []int, err error) {
 	out, err := e.Exit.Forward(rep, false)
 	if err != nil {
 		return nil, nil, err
 	}
-	// Softmax into pooled scratch: the probabilities are consumed before the
-	// buffer is recycled, so the serving hot path sheds one garbage matrix
-	// per batch.
-	probs := tensor.Get(out.Rows(), out.Cols())
-	defer tensor.Put(probs)
 	if err := tensor.SoftmaxInto(probs, out); err != nil {
 		return nil, nil, err
 	}
@@ -94,6 +103,19 @@ func (e *EarlyExit) ExitLocally(rep *tensor.Matrix) (preds []int, offload []int,
 		}
 	}
 	return preds, offload, nil
+}
+
+// ExitClasses returns the output width of the exit classifier (the Out of
+// its last Dense layer), which is the column count ExitLocallyInto expects
+// of its probs matrix.
+func (e *EarlyExit) ExitClasses() int {
+	classes := 0
+	for _, l := range e.Exit.Layers() {
+		if d, ok := l.(*nn.Dense); ok {
+			classes = d.Out()
+		}
+	}
+	return classes
 }
 
 // Predict classifies one batch through the cascade, reporting per-sample

@@ -106,3 +106,49 @@ func TestEarlyExitAccuracyReasonable(t *testing.T) {
 		t.Fatal("cascade never exited locally at threshold 0.75")
 	}
 }
+
+func TestExitLocallyIntoExposesConfidences(t *testing.T) {
+	cascade, ds := buildCascade(t, 0.75)
+	rep, err := cascade.Pipeline.TransformClean(ds.teX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := tensor.New(rep.Rows(), cascade.ExitClasses())
+	preds, offload, err := cascade.ExitLocallyInto(probs, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must agree with the scratch-owning wrapper.
+	preds2, offload2, err := cascade.ExitLocally(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(preds2) || len(offload) != len(offload2) {
+		t.Fatalf("wrapper disagrees: %d/%d preds, %d/%d offloads",
+			len(preds), len(preds2), len(offload), len(offload2))
+	}
+	offloaded := make(map[int]bool, len(offload))
+	for _, i := range offload {
+		offloaded[i] = true
+	}
+	for i, p := range preds {
+		if p != preds2[i] {
+			t.Fatalf("row %d: preds diverge %d vs %d", i, p, preds2[i])
+		}
+		if p != probs.ArgMaxRow(i) {
+			t.Fatalf("row %d: pred %d is not the probs argmax %d", i, p, probs.ArgMaxRow(i))
+		}
+		conf := probs.At(i, p)
+		if offloaded[i] != (conf < cascade.Threshold) {
+			t.Fatalf("row %d: confidence %v vs threshold %v, offloaded=%v",
+				i, conf, cascade.Threshold, offloaded[i])
+		}
+		sum := 0.0
+		for _, v := range probs.Row(i) {
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("row %d: softmax sums to %v", i, sum)
+		}
+	}
+}
