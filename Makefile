@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt cover bench serve-bench bench-json
+.PHONY: all build test race vet fmt docs-check cover bench serve-bench bench-json
 
 all: build test vet
 
@@ -11,11 +11,13 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrent subsystems: the serving runtime and its
-# instrumentation, parallel federated training, and the shared tensor
-# substrate (buffer pool + GOMAXPROCS-parallel matmul kernels) with the nn
-# and split consumers that pool scratch.
+# instrumentation, the fedserve train-to-serve coordinator, parallel
+# federated training (plain and DP), and the shared tensor substrate
+# (buffer pool + GOMAXPROCS-parallel matmul kernels) with the nn and split
+# consumers that pool scratch.
 race:
-	$(GO) test -race ./internal/serve/... ./internal/metrics/... ./internal/federated/... \
+	$(GO) test -race ./internal/serve/... ./internal/fedserve/... ./internal/metrics/... \
+		./internal/federated/... ./internal/privacy/... \
 		./internal/tensor/... ./internal/nn/... ./internal/split/...
 
 vet:
@@ -31,6 +33,13 @@ cover:
 
 fmt:
 	gofmt -l -w .
+
+# Docs gate (CI docs job): every inline relative markdown link must resolve
+# and the tree must be gofmt-clean. gofmt -l prints offenders without
+# rewriting; the shell check turns a non-empty listing into a failing exit.
+docs-check:
+	$(GO) run ./cmd/docscheck
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # Full benchmark sweep (paper artifacts + substrate micro-benches).
 bench:

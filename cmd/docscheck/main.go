@@ -1,0 +1,89 @@
+// Command docscheck is the repository's markdown link checker: it walks
+// every .md file, extracts inline [text](target) links, and verifies that
+// relative targets exist on disk. External (http/https/mailto) links and
+// pure in-page anchors are skipped — CI must not depend on network
+// reachability — and reference-style [text][ref] links are not parsed.
+// Exit status 1 lists every broken link.
+//
+//	go run ./cmd/docscheck        # check the repository root
+//	go run ./cmd/docscheck dir    # check another tree
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target); the target is group 1.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken, checked, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	for _, b := range broken {
+		fmt.Println(b)
+	}
+	if len(broken) > 0 {
+		fmt.Printf("docscheck: %d broken of %d relative links\n", len(broken), checked)
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d relative links ok\n", checked)
+}
+
+func check(root string) (broken []string, checked int, err error) {
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, werr error) error {
+		if werr != nil {
+			return werr
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if skip(target) {
+				continue
+			}
+			checked++
+			// Strip an in-page anchor from a file target.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, serr := os.Stat(resolved); serr != nil {
+				broken = append(broken, fmt.Sprintf("%s: broken link %q", path, m[1]))
+			}
+		}
+		return nil
+	})
+	return broken, checked, err
+}
+
+// skip reports link targets the checker does not verify: absolute URLs,
+// mail links, and pure in-page anchors.
+func skip(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

@@ -11,8 +11,19 @@
 //	POST /v1/predict  {"model":"mlp","features":[[...64 floats...]],
 //	                   "options":{"top_k":3,"version":1,"no_perturb":false}}
 //	GET  /v1/stats    p50/p99 latency, throughput, batch occupancy
-//	GET  /v1/models   registry listing (kind, versions, compression ratio)
+//	GET  /v1/models   registry listing (kind, versions, compression ratio,
+//	                  training provenance)
 //	GET  /healthz
+//
+// With -train the server additionally runs the federated train-to-serve
+// loop (internal/fedserve): a "fedmlp" model trains continuously on
+// simulated non-IID mobile clients and every accepted round hot-publishes a
+// new version that predict traffic migrates to mid-flight. The training
+// control plane mounts next to the serving API:
+//
+//	POST /v1/train/start   start (or resume) federated rounds
+//	POST /v1/train/pause   pause at the next round boundary
+//	GET  /v1/train/status  round, accuracies, published versions, bytes
 package main
 
 import (
@@ -28,6 +39,8 @@ import (
 	"mobiledl/internal/compress"
 	"mobiledl/internal/core"
 	"mobiledl/internal/data"
+	"mobiledl/internal/federated"
+	"mobiledl/internal/fedserve"
 	"mobiledl/internal/mobile"
 	"mobiledl/internal/nn"
 	"mobiledl/internal/opt"
@@ -58,6 +71,9 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	network := fs.String("network", "wifi", "simulated device link: wifi|lte|offline")
 	sleepNet := fs.Bool("sleepnet", false, "sleep the simulated network latency for wall-clock realism")
+	train := fs.Bool("train", false, "serve a federated train-to-serve loop (fedmlp) with the /v1/train control plane")
+	trainClients := fs.Int("train-clients", 16, "simulated federated clients for -train")
+	trainInterval := fs.Duration("train-interval", 250*time.Millisecond, "pacing between federated rounds for -train")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,7 +91,21 @@ func run(args []string) error {
 	srv := serve.NewServer(reg)
 	defer srv.Close()
 	batch := serve.BatcherConfig{MaxBatch: *maxBatch, MaxDelay: *window, Workers: *workers}
-	for _, name := range []string{"mlp", "mlp-compressed", "cascade", "forest"} {
+	served := []string{"mlp", "mlp-compressed", "cascade", "forest"}
+
+	mux := http.NewServeMux()
+	if *train {
+		coord, err := setupTraining(reg, *trainClients, *trainInterval, *seed)
+		if err != nil {
+			return err
+		}
+		defer coord.Stop()
+		fedserve.NewControl(coord).Mount(mux)
+		served = append(served, "fedmlp")
+		fmt.Println("federated train-to-serve loop ready: POST /v1/train/start to begin rounds")
+	}
+
+	for _, name := range served {
 		rt, err := serve.NewRuntime(serve.RuntimeConfig{
 			Registry: reg, Model: name, Batch: batch,
 			Net: net, Seed: *seed, SleepNet: *sleepNet,
@@ -85,6 +115,7 @@ func run(args []string) error {
 		}
 		srv.Add(rt)
 	}
+	mux.Handle("/", srv.Handler())
 
 	for _, info := range reg.Snapshot() {
 		line := fmt.Sprintf("serving %-15s v%d  %-8s %-15s %d params",
@@ -95,7 +126,47 @@ func run(args []string) error {
 		fmt.Println(line)
 	}
 	fmt.Printf("listening on %s (batch<=%d, window %s, network %s)\n", *addr, *maxBatch, *window, net.Kind)
-	return http.ListenAndServe(*addr, srv.Handler())
+	return http.ListenAndServe(*addr, mux)
+}
+
+// setupTraining builds the federated train-to-serve coordinator: non-IID
+// client shards over a fresh synthetic task (same 64-dim/10-class interface
+// as the other served models), the idle/charging/WiFi eligibility scheduler,
+// and publication into the shared registry as "fedmlp". The coordinator
+// publishes the untrained model immediately so the runtime can attach; the
+// round loop starts via POST /v1/train/start.
+func setupTraining(reg *serve.Registry, clients int, interval time.Duration, seed int64) (*fedserve.Coordinator, error) {
+	fb, err := data.GenerateFedBench(data.FedBenchConfig{
+		Samples: 2000, Classes: classes, Dim: inputDim, Spread: 1.3, Seed: seed + 100,
+	})
+	if err != nil {
+		return nil, err
+	}
+	trX, trY, teX, teY, err := fb.Split(0.8)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 101))
+	shards, err := data.ShardNonIID(rng, trX, trY, clients)
+	if err != nil {
+		return nil, err
+	}
+	_, factory, err := core.NewMLP(core.MLPSpec{In: inputDim, Hidden: []int{64, 32}, Classes: classes, Seed: seed + 102})
+	if err != nil {
+		return nil, err
+	}
+	sched, err := federated.NewScheduler(rng, clients, 0.9, 0.9, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	return fedserve.NewCoordinator(fedserve.Config{
+		Factory: factory, Shards: shards, Classes: classes,
+		EvalX: teX, EvalY: teY,
+		ClientFraction: 0.5, LocalEpochs: 2, LocalBatch: 32, LocalLR: 0.08,
+		Seed: seed + 103, Scheduler: sched,
+		RoundInterval: interval,
+		Registry:      reg, Model: "fedmlp",
+	})
 }
 
 func parseNetwork(s string) (mobile.Network, error) {

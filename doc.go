@@ -4,10 +4,11 @@
 // on-device inference (split execution and model compression), and the two
 // reference applications DeepMood and DEEPSERVICE.
 //
-// See README.md for the architecture overview, DESIGN.md for the system
-// inventory and per-experiment index, and EXPERIMENTS.md for paper-vs-
-// measured results. The root-level bench_test.go regenerates every table
-// and figure as a testing.B benchmark; cmd/paperbench prints them.
+// See README.md for the feature overview and ARCHITECTURE.md for the layer
+// map, the train -> publish -> serve data-flow diagram, and the guide to
+// adding a serving backend or client trainer. The root-level bench_test.go
+// regenerates every paper table and figure as a testing.B benchmark;
+// cmd/paperbench prints them.
 //
 // # Serving runtime
 //
@@ -54,6 +55,19 @@
 // examples/serving is the in-process quickstart serving all three backend
 // kinds; BenchmarkServeThroughput in bench_test.go measures requests/sec at
 // max batch sizes 1/8/32.
+//
+// # Train-to-serve loop
+//
+// internal/fedserve closes the loop between training and serving: a
+// Coordinator runs federated rounds continuously — device eligibility via
+// federated.Scheduler, parallel client fan-out through the
+// federated.Trainer seam, staleness-bounded async merging, optional DP
+// aggregation from internal/privacy — and hot-publishes every accepted
+// global model into the serve.Registry with round/accuracy provenance, so
+// predict traffic migrates to better models mid-flight. The /v1/train
+// control plane (start, pause, status) mounts next to the serving API in
+// cmd/mobiledlserve via -train; examples/trainserve is the in-process
+// demo. See ARCHITECTURE.md for the full data-flow diagram.
 //
 // # Performance conventions
 //

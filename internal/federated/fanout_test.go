@@ -1,0 +1,84 @@
+package federated
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"mobiledl/internal/tensor"
+)
+
+// TestFedAvgParallelMatchesSequential: round stats and final weights must be
+// bit-identical for any worker count — per-client seeds are drawn before the
+// fan-out and merging runs in selection order.
+func TestFedAvgParallelMatchesSequential(t *testing.T) {
+	run := func(workers int) ([]RoundStats, []*tensor.Matrix) {
+		factory, shards, eval, classes := benchSetup(t, 8, false)
+		model, stats, err := RunFedAvg(factory, shards, classes, FedAvgConfig{
+			Rounds:         8,
+			ClientFraction: 0.5,
+			LocalEpochs:    2,
+			LocalBatch:     16,
+			LocalLR:        0.1,
+			Seed:           13,
+			Workers:        workers,
+			Eval:           eval,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, ParamValues(model.Params())
+	}
+	seqStats, seqW := run(1)
+	parStats, parW := run(8)
+	if len(seqStats) != len(parStats) {
+		t.Fatalf("round counts differ: %d vs %d", len(seqStats), len(parStats))
+	}
+	for i := range seqStats {
+		if seqStats[i] != parStats[i] {
+			t.Fatalf("round %d stats differ:\nseq %+v\npar %+v", i, seqStats[i], parStats[i])
+		}
+	}
+	for i := range seqW {
+		if !seqW[i].Equal(parW[i], 0) {
+			t.Fatalf("param %d differs between worker counts", i)
+		}
+	}
+}
+
+// BenchmarkFedRound measures one federated round's client fan-out at worker
+// counts 1 (the sequential baseline) and GOMAXPROCS. On a multi-core box the
+// parallel pool wins roughly linearly; results are identical either way (see
+// TestFedAvgParallelMatchesSequential).
+func BenchmarkFedRound(b *testing.B) {
+	factory, shards, _, classes := benchSetup(b, 8, true)
+	trainer := &SGDTrainer{Factory: factory, Classes: classes, Epochs: 3, Batch: 16, LR: 0.1}
+	global, err := factory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	globalVals := ParamValues(global.Params())
+	selected := make([]int, len(shards))
+	seeds := make([]int64, len(shards))
+	for i := range shards {
+		selected[i] = i
+		seeds[i] = int64(i + 1)
+	}
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				updates, err := FanOut(trainer, shards, selected, globalVals, seeds, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := MergeWeighted(globalVals, updates); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

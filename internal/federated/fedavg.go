@@ -1,22 +1,12 @@
-// Package federated implements the two distributed-training schemes of
-// Section II: the distributed selective SGD of Shokri & Shmatikov [16]
-// (Fig. 1) with a global parameter server and top-|g| selective gradient
-// exchange, and Google's federated averaging [17, 18] with client sampling,
-// multiple local epochs, and n_k/n-weighted aggregation. Both account for
-// communicated bytes so the paper's 10-100x communication-saving claim
-// (Section II-B) can be reproduced, and a device-eligibility scheduler
-// models the "idle, plugged in, on WiFi" participation constraint.
 package federated
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"mobiledl/internal/data"
 	"mobiledl/internal/nn"
-	"mobiledl/internal/opt"
 	"mobiledl/internal/tensor"
 )
 
@@ -61,7 +51,9 @@ type FedAvgConfig struct {
 	LocalBatch int
 	LocalLR    float64
 	Seed       int64
-	// Workers bounds client-training concurrency (0 = one per client).
+	// Workers sizes the client-training worker pool (0 = GOMAXPROCS). Round
+	// stats are identical for any worker count: per-client seeds are drawn
+	// before the fan-out and results aggregate in selection order.
 	Workers int
 	// Eval, if non-nil, scores the global model; it runs every EvalEvery
 	// rounds (default 1) and on the final round.
@@ -90,16 +82,53 @@ func (c *FedAvgConfig) validate(numClients int) error {
 	return nil
 }
 
-// clientUpdate is one client's contribution to a round.
-type clientUpdate struct {
-	weights []*tensor.Matrix
-	n       int // local sample count (n_k)
-	loss    float64
-	err     error
+// trainer builds the SGD client trainer matching the config.
+func (c *FedAvgConfig) trainer(factory ModelFactory, classes int) *SGDTrainer {
+	return &SGDTrainer{
+		Factory: factory,
+		Classes: classes,
+		Epochs:  c.LocalEpochs,
+		Batch:   c.LocalBatch,
+		LR:      c.LocalLR,
+	}
+}
+
+// SelectRound draws one round's cohort: gate eligibility through the
+// scheduler (advancing it), sample a ClientFraction-sized subset, and
+// pre-draw each selected client's training seed from rng. An empty selection
+// means no device was eligible this round.
+func SelectRound(rng *rand.Rand, numClients int, fraction float64, sched *Scheduler) (selected []int, seeds []int64) {
+	eligible := make([]int, 0, numClients)
+	for k := 0; k < numClients; k++ {
+		if sched == nil || sched.Eligible(k) {
+			eligible = append(eligible, k)
+		}
+	}
+	if sched != nil {
+		sched.Advance()
+	}
+	if len(eligible) == 0 {
+		return nil, nil
+	}
+	m := int(fraction * float64(len(eligible)))
+	if m < 1 {
+		m = 1
+	}
+	rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+	selected = eligible[:m]
+	// Deterministic per-client seeds drawn before the concurrent phase.
+	seeds = make([]int64, len(selected))
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	return selected, seeds
 }
 
 // RunFedAvg executes federated averaging over the client shards and returns
-// the final global model plus per-round statistics.
+// the final global model plus per-round statistics. It is a thin synchronous
+// wrapper over the Trainer/FanOut machinery: each round selects a cohort,
+// trains it in parallel across the worker pool, and merges the weighted
+// average at a barrier.
 func RunFedAvg(factory ModelFactory, shards []*data.ClientShard, classes int, cfg FedAvgConfig) (*nn.Sequential, []RoundStats, error) {
 	if err := cfg.validate(len(shards)); err != nil {
 		return nil, nil, err
@@ -109,7 +138,9 @@ func RunFedAvg(factory ModelFactory, shards []*data.ClientShard, classes int, cf
 		return nil, nil, fmt.Errorf("build global model: %w", err)
 	}
 	globalParams := global.Params()
+	globalVals := ParamValues(globalParams)
 	paramBytes := int64(nn.NumParams(globalParams)) * BytesPerValue
+	trainer := cfg.trainer(factory, classes)
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	evalEvery := cfg.EvalEvery
@@ -121,72 +152,24 @@ func RunFedAvg(factory ModelFactory, shards []*data.ClientShard, classes int, cf
 	var upBytes, downBytes int64
 
 	for round := 0; round < cfg.Rounds; round++ {
-		eligible := make([]int, 0, len(shards))
-		for k := range shards {
-			if cfg.Scheduler == nil || cfg.Scheduler.Eligible(k) {
-				eligible = append(eligible, k)
-			}
-		}
-		if cfg.Scheduler != nil {
-			cfg.Scheduler.Advance()
-		}
-		if len(eligible) == 0 {
+		selected, seeds := SelectRound(rng, len(shards), cfg.ClientFraction, cfg.Scheduler)
+		if len(selected) == 0 {
 			stats = append(stats, RoundStats{
 				Round: round, TrainLoss: 0, Accuracy: -1,
 				CumulativeUpBytes: upBytes, CumulativeDownBytes: downBytes,
 			})
 			continue
 		}
-		m := int(cfg.ClientFraction * float64(len(eligible)))
-		if m < 1 {
-			m = 1
-		}
-		rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
-		selected := eligible[:m]
+		m := len(selected)
 
-		// Deterministic per-client seeds drawn before the concurrent phase.
-		seeds := make([]int64, len(selected))
-		for i := range seeds {
-			seeds[i] = rng.Int63()
+		updates, err := FanOut(trainer, shards, selected, globalVals, seeds, cfg.Workers)
+		if err != nil {
+			return nil, nil, fmt.Errorf("round %d: %w", round, err)
 		}
 
-		updates := make([]clientUpdate, len(selected))
-		workers := cfg.Workers
-		if workers <= 0 {
-			workers = len(selected)
-		}
-		sem := make(chan struct{}, workers)
-		var wg sync.WaitGroup
-		for i, k := range selected {
-			wg.Add(1)
-			go func(i, k int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				updates[i] = trainClient(factory, globalParams, shards[k], classes, cfg, seeds[i])
-			}(i, k)
-		}
-		wg.Wait()
-
-		var totalN int
-		var roundLoss float64
-		for _, u := range updates {
-			if u.err != nil {
-				return nil, nil, fmt.Errorf("round %d client: %w", round, u.err)
-			}
-			totalN += u.n
-			roundLoss += u.loss * float64(u.n)
-		}
-		roundLoss /= float64(totalN)
-
-		// Weighted average: w_{t+1} = sum_k (n_k / n) w^k_{t+1}.
-		for pi, gp := range globalParams {
-			gp.Value.Zero()
-			for _, u := range updates {
-				if err := tensor.AxpyInPlace(gp.Value, float64(u.n)/float64(totalN), u.weights[pi]); err != nil {
-					return nil, nil, err
-				}
-			}
+		roundLoss, err := MergeWeighted(globalVals, updates)
+		if err != nil {
+			return nil, nil, err
 		}
 
 		downBytes += int64(m) * paramBytes // model broadcast
@@ -217,56 +200,49 @@ func RunFedAvg(factory ModelFactory, shards []*data.ClientShard, classes int, cf
 	return global, stats, nil
 }
 
-// trainClient copies the global weights into a fresh local model, runs E
-// local epochs of SGD, and returns the resulting weights.
-func trainClient(factory ModelFactory, globalParams []*nn.Param, shard *data.ClientShard, classes int, cfg FedAvgConfig, seed int64) clientUpdate {
-	local, err := factory()
-	if err != nil {
-		return clientUpdate{err: err}
+// MergeWeighted overwrites the global parameter values with the n_k/n
+// weighted average of the client results — the FedAvg server step,
+// w_{t+1} = sum_k (n_k / n) w^k_{t+1} — accumulating in place so the merge
+// allocates nothing. It returns the sample-weighted mean training loss.
+func MergeWeighted(global []*tensor.Matrix, updates []ClientResult) (float64, error) {
+	var totalN int
+	var loss float64
+	for _, u := range updates {
+		totalN += u.N
+		loss += u.Loss * float64(u.N)
 	}
-	if err := nn.CopyWeights(local.Params(), globalParams); err != nil {
-		return clientUpdate{err: err}
+	if totalN == 0 {
+		return 0, fmt.Errorf("%w: merge with no samples", ErrConfig)
 	}
-	y, err := nn.OneHot(shard.Labels, classes)
-	if err != nil {
-		return clientUpdate{err: err}
+	loss /= float64(totalN)
+	for pi, gv := range global {
+		gv.Zero()
+		for _, u := range updates {
+			if err := tensor.AxpyInPlace(gv, float64(u.N)/float64(totalN), u.Weights[pi]); err != nil {
+				return 0, err
+			}
+		}
 	}
-	batch := cfg.LocalBatch
-	if batch <= 0 || batch > shard.Size() {
-		batch = shard.Size()
-	}
-	losses, err := nn.Train(local, shard.X, y, nn.TrainConfig{
-		Epochs:    cfg.LocalEpochs,
-		BatchSize: batch,
-		Optimizer: opt.NewSGD(cfg.LocalLR),
-		Loss:      nn.NewSoftmaxCrossEntropy(),
-		Rng:       rand.New(rand.NewSource(seed)),
-	})
-	if err != nil {
-		return clientUpdate{err: err}
-	}
-	params := local.Params()
-	weights := make([]*tensor.Matrix, len(params))
-	for i, p := range params {
-		weights[i] = p.Value
-	}
-	return clientUpdate{weights: weights, n: shard.Size(), loss: losses[len(losses)-1]}
+	return loss, nil
 }
 
 // AccuracyEval builds an Eval callback scoring classification accuracy on a
-// held-out set.
+// held-out set. It runs every training round, so the forward pass recycles
+// its activations through the shared tensor pool (InferPooled) instead of
+// allocating per layer per round.
 func AccuracyEval(x *tensor.Matrix, labels []int) func(*nn.Sequential) (float64, error) {
 	return func(m *nn.Sequential) (float64, error) {
-		preds, err := m.Predict(x)
+		out, err := m.InferPooled(x)
 		if err != nil {
 			return 0, err
 		}
 		correct := 0
-		for i, p := range preds {
-			if p == labels[i] {
+		for i := range labels {
+			if out.ArgMaxRow(i) == labels[i] {
 				correct++
 			}
 		}
+		tensor.Put(out)
 		return float64(correct) / float64(len(labels)), nil
 	}
 }

@@ -12,7 +12,7 @@ import (
 
 // benchSetup builds a small federated task: synthetic classification data
 // sharded over clients, a 2-layer MLP factory, and a held-out eval set.
-func benchSetup(t *testing.T, clients int, iid bool) (ModelFactory, []*data.ClientShard, func(*nn.Sequential) (float64, error), int) {
+func benchSetup(t testing.TB, clients int, iid bool) (ModelFactory, []*data.ClientShard, func(*nn.Sequential) (float64, error), int) {
 	t.Helper()
 	fb, err := data.GenerateFedBench(data.FedBenchConfig{
 		Samples: 600, Classes: 4, Dim: 8, Seed: 5,

@@ -57,12 +57,40 @@ type participant struct {
 	shard *data.ClientShard
 	y     *tensor.Matrix
 	rng   *rand.Rand
+	// before holds the pre-training parameter snapshot, allocated once and
+	// rewritten in place every round (the round loop is a hot path; see the
+	// pooling conventions in the root doc.go).
+	before []*tensor.Matrix
+}
+
+// snapshotInto copies the participant's current parameter values into its
+// reusable snapshot buffers.
+func (p *participant) snapshotInto() error {
+	params := p.model.Params()
+	if p.before == nil {
+		p.before = make([]*tensor.Matrix, len(params))
+		for i, pr := range params {
+			p.before[i] = tensor.New(pr.Value.Rows(), pr.Value.Cols())
+		}
+	}
+	for i, pr := range params {
+		if err := p.before[i].CopyFrom(pr.Value); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RunSelectiveSGD executes distributed selective SGD: each round every
 // participant (in deterministic order) downloads a fraction of the freshest
 // global parameters, trains locally, and uploads the θ-fraction of updates
 // with the largest magnitude, which the server adds to the global model.
+//
+// Unlike RunFedAvg, the participant loop is deliberately sequential: the
+// algorithm's value comes from each participant seeing the freshest global
+// parameters — including the uploads of participants earlier in the same
+// round — so a parallel fan-out would change the scheme, not just its speed.
+// Parallel client training lives in FanOut and the fedserve coordinator.
 func RunSelectiveSGD(factory ModelFactory, shards []*data.ClientShard, classes int, cfg SelectiveSGDConfig) (*nn.Sequential, []RoundStats, error) {
 	if err := cfg.validate(len(shards)); err != nil {
 		return nil, nil, err
@@ -113,8 +141,11 @@ func RunSelectiveSGD(factory ModelFactory, shards []*data.ClientShard, classes i
 			downloadParams(p.rng, p.model.Params(), globalParams, cfg.DownloadFraction)
 			downBytes += int64(downloadCount) * (BytesPerValue + BytesPerIndex)
 
-			// Snapshot, train locally, compute deltas.
-			before := snapshot(p.model.Params())
+			// Snapshot (into the participant's reusable buffers), train
+			// locally, compute deltas.
+			if err := p.snapshotInto(); err != nil {
+				return nil, nil, err
+			}
 			batch := cfg.LocalBatch
 			if batch <= 0 || batch > p.shard.Size() {
 				batch = p.shard.Size()
@@ -132,7 +163,7 @@ func RunSelectiveSGD(factory ModelFactory, shards []*data.ClientShard, classes i
 			roundLoss += losses[len(losses)-1]
 
 			// Upload: apply the top-θ fraction of deltas to the global model.
-			applyTopDeltas(p.model.Params(), before, globalParams, uploadCount)
+			applyTopDeltas(p.model.Params(), p.before, globalParams, uploadCount)
 			upBytes += int64(uploadCount) * (BytesPerValue + BytesPerIndex)
 		}
 		roundLoss /= float64(len(parts))
@@ -160,15 +191,6 @@ func RunSelectiveSGD(factory ModelFactory, shards []*data.ClientShard, classes i
 		stats = append(stats, st)
 	}
 	return global, stats, nil
-}
-
-// snapshot deep-copies parameter values.
-func snapshot(params []*nn.Param) []*tensor.Matrix {
-	out := make([]*tensor.Matrix, len(params))
-	for i, p := range params {
-		out[i] = p.Value.Clone()
-	}
-	return out
 }
 
 // downloadParams overwrites a random fraction of local parameter values with

@@ -1,0 +1,76 @@
+package fedserve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Control exposes a Coordinator over HTTP — the training control plane
+// mounted next to the serving API:
+//
+//	POST /v1/train/start   start (or resume) the round loop
+//	POST /v1/train/pause   pause at the next round boundary
+//	GET  /v1/train/status  Status snapshot (round, accuracies, versions, ...)
+//
+// Start/pause respond with the resulting Status; an invalid transition
+// (e.g. starting a stopped coordinator) is 409 Conflict.
+type Control struct {
+	coord *Coordinator
+}
+
+// NewControl wraps a coordinator for HTTP control.
+func NewControl(c *Coordinator) *Control { return &Control{coord: c} }
+
+// Mount registers the control-plane routes on mux.
+func (ct *Control) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/train/start", ct.handleStart)
+	mux.HandleFunc("/v1/train/pause", ct.handlePause)
+	mux.HandleFunc("/v1/train/status", ct.handleStatus)
+}
+
+func (ct *Control) handleStart(w http.ResponseWriter, r *http.Request) {
+	ct.transition(w, r, ct.coord.Start)
+}
+
+func (ct *Control) handlePause(w http.ResponseWriter, r *http.Request) {
+	ct.transition(w, r, ct.coord.Pause)
+}
+
+func (ct *Control) transition(w http.ResponseWriter, r *http.Request, op func() error) {
+	if r.Method != http.MethodPost {
+		ct.httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if err := op(); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrState) {
+			status = http.StatusConflict
+		}
+		ct.httpError(w, status, err)
+		return
+	}
+	ct.writeJSON(w, ct.coord.Status())
+}
+
+func (ct *Control) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		ct.httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	ct.writeJSON(w, ct.coord.Status())
+}
+
+func (ct *Control) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do.
+		_ = err
+	}
+}
+
+func (ct *Control) httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,101 @@
+package fedserve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mobiledl/internal/serve"
+)
+
+func TestControlEndpoints(t *testing.T) {
+	tk := newTask(t, 4, true)
+	reg := serve.NewRegistry()
+	cfg := tk.config(reg, "http")
+	cfg.Rounds = 4
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Stop()
+
+	mux := http.NewServeMux()
+	NewControl(coord).Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	getStatus := func() Status {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/train/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status endpoint: HTTP %d", resp.StatusCode)
+		}
+		var st Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	if st := getStatus(); st.State != StateIdle {
+		t.Fatalf("fresh coordinator state %s over HTTP", st.State)
+	}
+
+	// Wrong methods are 405.
+	resp, err := http.Get(srv.URL + "/v1/train/start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/train/start: HTTP %d", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/train/status", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/train/status: HTTP %d", resp.StatusCode)
+	}
+
+	// Pause before start is an invalid transition: 409.
+	resp, err = http.Post(srv.URL+"/v1/train/pause", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("pause before start: HTTP %d", resp.StatusCode)
+	}
+
+	// Start runs the loop to completion; the returned body carries Status.
+	resp, err = http.Post(srv.URL+"/v1/train/start", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var started Status
+	if err := json.NewDecoder(resp.Body).Decode(&started); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// The loop may already have finished by the time the response status was
+	// snapshotted, so both running and stopped are legitimate here.
+	if resp.StatusCode != http.StatusOK || (started.State != StateRunning && started.State != StateStopped) {
+		t.Fatalf("start: HTTP %d state %s", resp.StatusCode, started.State)
+	}
+
+	coord.Wait()
+	st := getStatus()
+	if st.State != StateStopped || st.Round != 4 {
+		t.Fatalf("after run: %+v", st)
+	}
+	if len(st.Published) == 0 {
+		t.Fatal("status over HTTP lost the published-version log")
+	}
+}

@@ -1,0 +1,846 @@
+package fedserve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobiledl/internal/data"
+	"mobiledl/internal/federated"
+	"mobiledl/internal/nn"
+	"mobiledl/internal/privacy"
+	"mobiledl/internal/serve"
+	"mobiledl/internal/tensor"
+)
+
+// ErrConfig reports an invalid coordinator configuration.
+var ErrConfig = errors.New("fedserve: invalid configuration")
+
+// ErrState reports a control operation that is invalid in the coordinator's
+// current state (e.g. pausing a coordinator that was never started).
+var ErrState = errors.New("fedserve: invalid state transition")
+
+// State is the coordinator lifecycle state.
+type State string
+
+// Coordinator states. Idle coordinators have published their initial version
+// but run no rounds; Stopped is terminal (reached via Stop or by exhausting
+// Config.Rounds).
+const (
+	StateIdle    State = "idle"
+	StateRunning State = "running"
+	StatePaused  State = "paused"
+	StateStopped State = "stopped"
+)
+
+// DPConfig enables user-level differentially private aggregation: each
+// client delta is clipped to joint L2 norm Clip, the round average uses the
+// fixed-denominator estimator over the expected cohort, and Gaussian noise
+// with multiplier Sigma is added — the DP-FedAvg server step (see
+// privacy.RunDPFedAvg). The coordinator's moments accountant reports the
+// cumulative epsilon in Status. DP requires synchronous rounds (Quorum >= 1):
+// the accountant prices one noisy release per round, which staleness-weighted
+// partial merges would invalidate.
+type DPConfig struct {
+	Clip  float64
+	Sigma float64
+	// Delta is the accountant's delta for the reported epsilon (default 1e-5).
+	Delta float64
+}
+
+// Config wires a Coordinator: the federated task (factory, shards, held-out
+// eval set), the round knobs, the asynchrony and privacy policies, and the
+// serving registry accepted models publish into.
+type Config struct {
+	// Factory builds architecture-aligned models: the global model, each
+	// client's local model, and every published serving copy.
+	Factory federated.ModelFactory
+	// Shards are the per-client local datasets.
+	Shards  []*data.ClientShard
+	Classes int
+	// EvalX/EvalY are the held-out set gating publication.
+	EvalX *tensor.Matrix
+	EvalY []int
+
+	// Rounds bounds the run (0 = run until Stop).
+	Rounds int
+	// ClientFraction samples the eligible cohort each round (default 1).
+	ClientFraction float64
+	LocalEpochs    int // default 1
+	LocalBatch     int
+	LocalLR        float64
+	Seed           int64
+	// Workers sizes the client-training pool (0 = GOMAXPROCS).
+	Workers int
+	// Scheduler, if non-nil, gates device eligibility per round.
+	Scheduler *federated.Scheduler
+	// Trainer overrides the default SGDTrainer built from the Local* knobs.
+	Trainer federated.Trainer
+
+	// Quorum is the fraction of each round's dispatched cohort the round
+	// waits for before merging (default 1 = synchronous barrier, which makes
+	// rounds deterministic for a fixed seed). Below 1 the round merges early
+	// and stragglers land in later rounds as stale updates.
+	Quorum float64
+	// MaxStaleness bounds how many rounds late an update may arrive and
+	// still merge (with decayed weight); staler updates are dropped. Only
+	// meaningful with Quorum < 1 (default then: 2).
+	MaxStaleness int
+	// StalenessDecay multiplies an update's merge weight per round of
+	// staleness (default 0.5).
+	StalenessDecay float64
+
+	// DP, if non-nil, makes aggregation differentially private.
+	DP *DPConfig
+
+	// Registry and Model name the published servable. The coordinator
+	// publishes its initial global model at construction so serving can
+	// begin before the first round completes.
+	Registry *serve.Registry
+	Model    string
+	// EvalEvery sets the eval-and-maybe-publish cadence in rounds (default 1).
+	EvalEvery int
+	// AccuracyDrop tolerates publishing a version up to this much below the
+	// best published accuracy (default 0: never publish a regression).
+	AccuracyDrop float64
+	// RoundInterval paces the loop between rounds (0 = run flat out).
+	RoundInterval time.Duration
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Factory == nil:
+		return fmt.Errorf("%w: nil model factory", ErrConfig)
+	case len(c.Shards) == 0:
+		return fmt.Errorf("%w: no client shards", ErrConfig)
+	case c.Classes < 2:
+		return fmt.Errorf("%w: %d classes", ErrConfig, c.Classes)
+	case c.EvalX == nil || len(c.EvalY) == 0 || c.EvalX.Rows() != len(c.EvalY):
+		return fmt.Errorf("%w: held-out eval set missing or misaligned", ErrConfig)
+	case c.Registry == nil || c.Model == "":
+		return fmt.Errorf("%w: publication needs a registry and model name", ErrConfig)
+	case c.Rounds < 0:
+		return fmt.Errorf("%w: Rounds=%d", ErrConfig, c.Rounds)
+	case c.ClientFraction < 0 || c.ClientFraction > 1:
+		return fmt.Errorf("%w: ClientFraction=%v", ErrConfig, c.ClientFraction)
+	case c.Quorum < 0 || c.Quorum > 1:
+		return fmt.Errorf("%w: Quorum=%v", ErrConfig, c.Quorum)
+	case c.Trainer == nil && c.LocalLR <= 0:
+		return fmt.Errorf("%w: LocalLR=%v with no custom Trainer", ErrConfig, c.LocalLR)
+	}
+	if c.DP != nil {
+		if c.DP.Clip <= 0 || c.DP.Sigma < 0 {
+			return fmt.Errorf("%w: DP clip=%v sigma=%v", ErrConfig, c.DP.Clip, c.DP.Sigma)
+		}
+		if c.Quorum != 0 && c.Quorum < 1 {
+			return fmt.Errorf("%w: DP aggregation requires synchronous rounds (Quorum=1)", ErrConfig)
+		}
+	}
+	return nil
+}
+
+// PublishedVersion is one accepted, registry-installed model version.
+type PublishedVersion struct {
+	Version  int       `json:"version"`
+	Round    int       `json:"round"`
+	Accuracy float64   `json:"accuracy"`
+	At       time.Time `json:"at"`
+}
+
+// Status is a point-in-time snapshot of the coordinator, the payload of
+// GET /v1/train/status.
+type Status struct {
+	State State  `json:"state"`
+	Model string `json:"model"`
+	// Round is the last completed round (0 before any round finishes).
+	Round    int `json:"round"`
+	InFlight int `json:"in_flight"`
+	// MergedUpdates / DroppedStale count client updates folded into or
+	// discarded from the global model across the run.
+	MergedUpdates int `json:"merged_updates"`
+	DroppedStale  int `json:"dropped_stale"`
+	// FailedClients counts client training errors (skipped, not fatal).
+	FailedClients int     `json:"failed_clients"`
+	LastLoss      float64 `json:"last_loss"`
+	LastAccuracy  float64 `json:"last_accuracy"`
+	BestAccuracy  float64 `json:"best_accuracy"`
+	// RejectedRounds counts evals that regressed past AccuracyDrop and were
+	// not published.
+	RejectedRounds int    `json:"rejected_rounds"`
+	UpBytes        int64  `json:"up_bytes"`
+	DownBytes      int64  `json:"down_bytes"`
+	LastError      string `json:"last_error,omitempty"`
+	// Epsilon is the cumulative user-level privacy spend (DP runs only).
+	Epsilon   float64            `json:"epsilon,omitempty"`
+	Published []PublishedVersion `json:"published"`
+}
+
+// job is one dispatched client-training task.
+type job struct {
+	round int
+	k     int
+	seed  int64
+	base  *baseSnap
+}
+
+// done is one finished client-training task, carrying the parameter delta
+// against the base the client trained from.
+type done struct {
+	round int
+	k     int
+	delta []*tensor.Matrix // pooled; the driver Puts after merging
+	n     int
+	loss  float64
+	err   error
+}
+
+// baseSnap is a pooled snapshot of the global parameters at dispatch time,
+// shared by one round's cohort and released to the pool when the last client
+// finishes with it.
+type baseSnap struct {
+	vals []*tensor.Matrix
+	refs int32
+}
+
+func (s *baseSnap) release() {
+	if atomic.AddInt32(&s.refs, -1) == 0 {
+		for _, v := range s.vals {
+			tensor.Put(v)
+		}
+	}
+}
+
+// Coordinator owns the continuous federated train-to-serve loop: it runs
+// rounds (device eligibility, parallel client fan-out, staleness-bounded
+// merging, optional DP aggregation), evaluates the global model on the
+// held-out set, and hot-publishes accepted versions into the serving
+// registry. Construction publishes the initial model as version 1 so a
+// serve.Runtime can be attached before training starts; Start launches the
+// round loop, Pause/Stop control it, and Status snapshots progress at any
+// time from any goroutine.
+type Coordinator struct {
+	cfg     Config
+	trainer federated.Trainer
+	global  *nn.Sequential
+	vals    []*tensor.Matrix
+	eval    func(*nn.Sequential) (float64, error)
+	rng     *rand.Rand
+	acct    *privacy.MomentsAccountant
+	dpDenom float64
+
+	paramBytes int64
+	evalEvery  int
+	quorum     float64
+	decay      float64
+	staleMax   int
+
+	jobs     chan job
+	results  chan done
+	workerWg sync.WaitGroup
+	doneCh   chan struct{}
+	stopOnce sync.Once
+	stopCh   chan struct{}
+
+	// driver-goroutine state (no locking needed).
+	busy            map[int]bool
+	inflight        int
+	mergedSinceEval int
+	history         []federated.RoundStats
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	state   State
+	started bool
+	status  Status
+}
+
+// NewCoordinator validates the config, builds the global model, evaluates
+// it, and publishes it as the model's initial version so serving can begin
+// immediately. The round loop does not run until Start.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ClientFraction == 0 {
+		cfg.ClientFraction = 1
+	}
+	if cfg.LocalEpochs <= 0 {
+		cfg.LocalEpochs = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	global, err := cfg.Factory()
+	if err != nil {
+		return nil, fmt.Errorf("fedserve: build global model: %w", err)
+	}
+	trainer := cfg.Trainer
+	if trainer == nil {
+		trainer = &federated.SGDTrainer{
+			Factory: cfg.Factory,
+			Classes: cfg.Classes,
+			Epochs:  cfg.LocalEpochs,
+			Batch:   cfg.LocalBatch,
+			LR:      cfg.LocalLR,
+		}
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		trainer:    trainer,
+		global:     global,
+		vals:       federated.ParamValues(global.Params()),
+		eval:       federated.AccuracyEval(cfg.EvalX, cfg.EvalY),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		paramBytes: int64(nn.NumParams(global.Params())) * federated.BytesPerValue,
+		evalEvery:  cfg.EvalEvery,
+		quorum:     cfg.Quorum,
+		decay:      cfg.StalenessDecay,
+		staleMax:   cfg.MaxStaleness,
+		jobs:       make(chan job, len(cfg.Shards)),
+		results:    make(chan done, len(cfg.Shards)),
+		doneCh:     make(chan struct{}),
+		stopCh:     make(chan struct{}),
+		busy:       make(map[int]bool),
+		state:      StateIdle,
+	}
+	c.cond = sync.NewCond(&c.mu)
+	if c.evalEvery <= 0 {
+		c.evalEvery = 1
+	}
+	if c.quorum == 0 {
+		c.quorum = 1
+	}
+	if c.decay == 0 {
+		c.decay = 0.5
+	}
+	if c.quorum < 1 && c.staleMax == 0 {
+		c.staleMax = 2
+	}
+	if cfg.DP != nil && cfg.DP.Sigma > 0 {
+		c.acct, err = privacy.NewMomentsAccountant(cfg.DP.Sigma, cfg.ClientFraction)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.dpDenom = cfg.ClientFraction * float64(len(cfg.Shards))
+	if c.dpDenom < 1 {
+		c.dpDenom = 1
+	}
+	c.status = Status{State: StateIdle, Model: cfg.Model, LastAccuracy: -1, BestAccuracy: -1}
+
+	// Publish the untrained (round-0) global so traffic has a version to hit.
+	acc, err := c.eval(c.global)
+	if err != nil {
+		return nil, fmt.Errorf("fedserve: initial eval: %w", err)
+	}
+	if err := c.publish(0, acc); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Start launches the round loop (idle) or resumes it (paused). Starting a
+// running coordinator is a no-op; starting a stopped one is ErrState.
+func (c *Coordinator) Start() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case StateStopped:
+		return fmt.Errorf("%w: coordinator is stopped", ErrState)
+	case StateRunning:
+		return nil
+	case StatePaused:
+		c.setStateLocked(StateRunning)
+		c.cond.Broadcast()
+		return nil
+	}
+	c.setStateLocked(StateRunning)
+	c.started = true
+	for w := 0; w < c.cfg.Workers; w++ {
+		c.workerWg.Add(1)
+		go c.worker()
+	}
+	go c.run()
+	return nil
+}
+
+// Pause suspends the round loop at the next round boundary; in-flight client
+// jobs finish and merge after resume. Pausing an unstarted or stopped
+// coordinator is ErrState.
+func (c *Coordinator) Pause() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case StatePaused:
+		return nil
+	case StateRunning:
+		c.setStateLocked(StatePaused)
+		c.cond.Broadcast()
+		return nil
+	}
+	return fmt.Errorf("%w: cannot pause a coordinator that is %s", ErrState, c.state)
+}
+
+// Stop terminates the round loop, drains in-flight client work, and waits
+// for it to wind down. Terminal and idempotent.
+func (c *Coordinator) Stop() {
+	c.mu.Lock()
+	wasStarted := c.started
+	c.setStateLocked(StateStopped)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	if wasStarted {
+		<-c.doneCh
+	}
+}
+
+// Wait blocks until the round loop exits — Config.Rounds exhausted or Stop
+// called. It must follow a successful Start.
+func (c *Coordinator) Wait() { <-c.doneCh }
+
+// Status snapshots coordinator progress; safe from any goroutine.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.status
+	st.Published = append([]PublishedVersion(nil), c.status.Published...)
+	return st
+}
+
+// History returns the per-round statistics recorded so far (Accuracy -1 on
+// rounds that were not evaluated), in round order.
+func (c *Coordinator) History() []federated.RoundStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]federated.RoundStats(nil), c.history...)
+}
+
+func (c *Coordinator) setStateLocked(s State) {
+	c.state = s
+	c.status.State = s
+}
+
+// worker consumes client-training jobs until the jobs channel closes.
+func (c *Coordinator) worker() {
+	defer c.workerWg.Done()
+	for j := range c.jobs {
+		c.results <- c.trainOne(j)
+	}
+}
+
+// trainOne runs one client against its dispatch-time base snapshot and
+// returns the pooled parameter delta.
+func (c *Coordinator) trainOne(j job) done {
+	defer j.base.release()
+	d := done{round: j.round, k: j.k}
+	res, err := c.trainer.TrainClient(c.cfg.Shards[j.k], j.base.vals, j.seed)
+	if err != nil {
+		d.err = err
+		return d
+	}
+	d.n, d.loss = res.N, res.Loss
+	d.delta = make([]*tensor.Matrix, len(res.Weights))
+	for i, w := range res.Weights {
+		d.delta[i] = tensor.Get(w.Rows(), w.Cols())
+		if serr := tensor.SubInto(d.delta[i], w, j.base.vals[i]); serr != nil {
+			d.err = serr
+			break
+		}
+	}
+	if d.err != nil {
+		putDeltas(d)
+		d.delta = nil
+	}
+	return d
+}
+
+func putDeltas(d done) {
+	for _, m := range d.delta {
+		tensor.Put(m)
+	}
+}
+
+// run is the driver goroutine: the continuous round loop.
+func (c *Coordinator) run() {
+	defer c.shutdown()
+	for round := 1; c.cfg.Rounds == 0 || round <= c.cfg.Rounds; round++ {
+		if !c.awaitRunnable() {
+			return
+		}
+		progressed := c.runRound(round)
+		pause := c.cfg.RoundInterval
+		if !progressed && pause < idleBackoff {
+			// Nothing dispatched and nothing collected (e.g. no eligible
+			// devices): back off instead of spinning the driver at 100% CPU
+			// on an unbounded run.
+			pause = idleBackoff
+		}
+		if pause > 0 {
+			select {
+			case <-time.After(pause):
+			case <-c.stopCh:
+				return
+			}
+		}
+	}
+}
+
+// idleBackoff paces rounds that could do no work at all.
+const idleBackoff = 50 * time.Millisecond
+
+// awaitRunnable blocks while paused and reports whether the loop should
+// continue (false = stopped).
+func (c *Coordinator) awaitRunnable() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.state == StatePaused {
+		c.cond.Wait()
+	}
+	return c.state == StateRunning
+}
+
+// runRound executes one coordinator round: select + dispatch the cohort,
+// collect to quorum, merge, and (on the eval cadence) evaluate and maybe
+// publish. It reports whether the round made any progress (dispatched or
+// collected anything).
+func (c *Coordinator) runRound(round int) bool {
+	dispatched := c.dispatch(round)
+
+	// Collect: at least the quorum of this round's cohort — and, when
+	// nothing was dispatchable but work is still in flight, at least one
+	// arrival so the loop always makes progress.
+	need := int(math.Ceil(c.quorum * float64(dispatched)))
+	if need == 0 && dispatched == 0 && c.inflight > 0 {
+		need = 1
+	}
+	var collected []done
+	for len(collected) < need && c.inflight > 0 {
+		d := <-c.results
+		c.inflight--
+		c.busy[d.k] = false
+		collected = append(collected, d)
+	}
+	// Opportunistically drain anything else already finished.
+	for {
+		select {
+		case d := <-c.results:
+			c.inflight--
+			c.busy[d.k] = false
+			collected = append(collected, d)
+			continue
+		default:
+		}
+		break
+	}
+
+	c.merge(round, collected)
+
+	// Evaluate on the cadence, but only when training actually advanced:
+	// rounds with no eligible devices (or only dropped/failed updates) would
+	// otherwise republish an unchanged model every EvalEvery rounds.
+	if c.mergedSinceEval > 0 && (round%c.evalEvery == 0 || round == c.cfg.Rounds) {
+		c.mergedSinceEval = 0
+		c.evalAndMaybePublish(round)
+	}
+	return dispatched > 0 || len(collected) > 0
+}
+
+// dispatch selects this round's cohort among eligible, non-busy clients and
+// enqueues their training jobs against a shared snapshot of the current
+// global parameters. Returns the cohort size.
+func (c *Coordinator) dispatch(round int) int {
+	eligible := make([]int, 0, len(c.cfg.Shards))
+	for k := range c.cfg.Shards {
+		if c.busy[k] {
+			continue
+		}
+		if c.cfg.Scheduler != nil && !c.cfg.Scheduler.Eligible(k) {
+			continue
+		}
+		eligible = append(eligible, k)
+	}
+	if c.cfg.Scheduler != nil {
+		c.cfg.Scheduler.Advance()
+	}
+	if len(eligible) == 0 {
+		return 0
+	}
+	m := int(c.cfg.ClientFraction * float64(len(eligible)))
+	if m < 1 {
+		m = 1
+	}
+	c.rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+	selected := eligible[:m]
+	// Sort the cohort so job order (and each client's seed) is a function of
+	// the selection set alone, then pre-draw seeds before any concurrency.
+	sort.Ints(selected)
+	base := &baseSnap{vals: make([]*tensor.Matrix, len(c.vals)), refs: int32(len(selected))}
+	for i, v := range c.vals {
+		base.vals[i] = tensor.Get(v.Rows(), v.Cols())
+		if err := base.vals[i].CopyFrom(v); err != nil {
+			// Shapes are factory-aligned; this is unreachable outside
+			// programmer error.
+			panic(err)
+		}
+	}
+	for _, k := range selected {
+		c.busy[k] = true
+		c.jobs <- job{round: round, k: k, seed: c.rng.Int63(), base: base}
+		c.inflight++
+	}
+	c.mu.Lock()
+	c.status.DownBytes += int64(len(selected)) * c.paramBytes // model broadcast
+	c.status.InFlight = c.inflight
+	c.mu.Unlock()
+	return len(selected)
+}
+
+// merge folds the collected client updates into the global model —
+// staleness-weighted n_k-weighted averaging of deltas, or the DP
+// clip-average-noise step — and records the round stats.
+func (c *Coordinator) merge(round int, collected []done) {
+	// Deterministic merge order regardless of arrival order: float addition
+	// is not associative, and the sync path promises bit-identical rounds.
+	sort.Slice(collected, func(a, b int) bool {
+		if collected[a].round != collected[b].round {
+			return collected[a].round < collected[b].round
+		}
+		return collected[a].k < collected[b].k
+	})
+
+	var merged []done
+	var failed, dropped int
+	var lastErr error
+	for _, d := range collected {
+		switch {
+		case d.err != nil:
+			failed++
+			lastErr = fmt.Errorf("client %d (round %d): %w", d.k, d.round, d.err)
+		case round-d.round > c.staleMax:
+			dropped++
+			putDeltas(d)
+		default:
+			merged = append(merged, d)
+		}
+	}
+
+	var roundLoss float64
+	if len(merged) > 0 {
+		var err error
+		if c.cfg.DP != nil {
+			roundLoss, err = c.mergeDP(merged)
+		} else {
+			roundLoss, err = c.mergeWeighted(round, merged)
+		}
+		if err != nil {
+			lastErr = err
+		}
+		for _, d := range merged {
+			putDeltas(d)
+		}
+	}
+
+	st := federated.RoundStats{
+		Round:              round,
+		TrainLoss:          roundLoss,
+		Accuracy:           -1,
+		ParticipatingUsers: len(merged),
+	}
+
+	c.mergedSinceEval += len(merged)
+
+	c.mu.Lock()
+	c.status.Round = round
+	c.status.InFlight = c.inflight
+	c.status.MergedUpdates += len(merged)
+	c.status.DroppedStale += dropped
+	c.status.FailedClients += failed
+	c.status.UpBytes += int64(len(merged)+dropped) * c.paramBytes
+	if len(merged) > 0 {
+		c.status.LastLoss = roundLoss
+	}
+	switch {
+	case lastErr != nil:
+		c.status.LastError = lastErr.Error()
+	case len(merged) > 0:
+		// A clean merge clears any stale error, so /v1/train/status reports
+		// current health rather than ancient history.
+		c.status.LastError = ""
+	}
+	st.CumulativeUpBytes = c.status.UpBytes
+	st.CumulativeDownBytes = c.status.DownBytes
+	if c.acct != nil && len(merged) > 0 {
+		c.acct.AccumulateSteps(1)
+		if eps, err := c.acct.Epsilon(c.dpDelta()); err == nil {
+			c.status.Epsilon = eps
+		}
+	}
+	c.history = append(c.history, st)
+	if len(c.history) > historyCap {
+		c.history = c.history[len(c.history)-historyCap:]
+	}
+	c.mu.Unlock()
+}
+
+// historyCap bounds the in-memory round log for unbounded runs.
+const historyCap = 4096
+
+func (c *Coordinator) dpDelta() float64 {
+	if c.cfg.DP.Delta > 0 {
+		return c.cfg.DP.Delta
+	}
+	return 1e-5
+}
+
+// mergeWeighted applies global += sum_k (w_k / W) delta_k with
+// w_k = n_k * decay^staleness — the FedAvg server step generalized to
+// stale deltas (for a synchronous round it is exactly the n_k/n weighted
+// average RunFedAvg computes). Returns the weighted mean client loss.
+func (c *Coordinator) mergeWeighted(round int, merged []done) (float64, error) {
+	var totalW, totalN, loss float64
+	weights := make([]float64, len(merged))
+	for i, d := range merged {
+		w := float64(d.n) * math.Pow(c.decay, float64(round-d.round))
+		weights[i] = w
+		totalW += w
+		totalN += float64(d.n)
+		loss += d.loss * float64(d.n)
+	}
+	if totalW == 0 {
+		return 0, fmt.Errorf("%w: merge with zero total weight", ErrConfig)
+	}
+	for pi, gv := range c.vals {
+		for i, d := range merged {
+			if err := tensor.AxpyInPlace(gv, weights[i]/totalW, d.delta[pi]); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return loss / totalN, nil
+}
+
+// mergeDP applies the DP-FedAvg server step: clip each client delta to joint
+// L2 norm Clip, average with the fixed denominator q*W (the expected cohort
+// mass), and add Gaussian noise scaled to the clip and denominator.
+func (c *Coordinator) mergeDP(merged []done) (float64, error) {
+	var loss float64
+	for _, d := range merged {
+		privacy.ClipJoint(d.delta, c.cfg.DP.Clip)
+		loss += d.loss
+	}
+	scale := 1 / c.dpDenom
+	for pi, gv := range c.vals {
+		for _, d := range merged {
+			if err := tensor.AxpyInPlace(gv, scale, d.delta[pi]); err != nil {
+				return 0, err
+			}
+		}
+		if c.cfg.DP.Sigma > 0 {
+			noise := tensor.Get(gv.Rows(), gv.Cols())
+			privacy.AddGaussian(c.rng, noise, c.cfg.DP.Sigma*c.cfg.DP.Clip/c.dpDenom)
+			err := tensor.AddInPlace(gv, noise)
+			tensor.Put(noise)
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	return loss / float64(len(merged)), nil
+}
+
+// evalAndMaybePublish scores the global model on the held-out set and
+// publishes it as a new registry version unless it regresses more than
+// AccuracyDrop below the best published accuracy. Training always continues
+// from the merged state; only publication is gated.
+func (c *Coordinator) evalAndMaybePublish(round int) {
+	acc, err := c.eval(c.global)
+
+	c.mu.Lock()
+	if err != nil {
+		c.status.LastError = fmt.Sprintf("round %d eval: %v", round, err)
+		c.mu.Unlock()
+		return
+	}
+	c.status.LastAccuracy = acc
+	if n := len(c.history); n > 0 && c.history[n-1].Round == round {
+		c.history[n-1].Accuracy = acc
+	}
+	accept := acc >= c.status.BestAccuracy-c.cfg.AccuracyDrop
+	if !accept {
+		c.status.RejectedRounds++
+	}
+	c.mu.Unlock()
+
+	if !accept {
+		return
+	}
+	if err := c.publish(round, acc); err != nil {
+		c.mu.Lock()
+		c.status.LastError = fmt.Sprintf("round %d publish: %v", round, err)
+		c.mu.Unlock()
+	}
+}
+
+// publish checkpoints the global weights (nn.EncodeWeights), decodes them
+// into a fresh factory-built copy, and hot-swaps that copy into the registry
+// with round/accuracy provenance. The served model is decoupled from the
+// training model: the coordinator keeps mutating the global while the
+// published version stays frozen.
+func (c *Coordinator) publish(round int, acc float64) error {
+	blob, err := nn.EncodeWeights(c.global)
+	if err != nil {
+		return err
+	}
+	fresh, err := c.cfg.Factory()
+	if err != nil {
+		return err
+	}
+	if err := nn.DecodeWeights(fresh, blob); err != nil {
+		return err
+	}
+	backend, err := serve.NewDenseBackend(fresh)
+	if err != nil {
+		return err
+	}
+	version, err := c.cfg.Registry.InstallWithMeta(c.cfg.Model, backend, &serve.VersionMeta{
+		Source: "fedserve", Round: round, Accuracy: acc,
+	})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.status.LastAccuracy = acc
+	if acc > c.status.BestAccuracy {
+		c.status.BestAccuracy = acc
+	}
+	c.status.Published = append(c.status.Published, PublishedVersion{
+		Version: version, Round: round, Accuracy: acc, At: time.Now(),
+	})
+	c.mu.Unlock()
+	return nil
+}
+
+// shutdown drains in-flight work, stops the workers, and marks the
+// coordinator stopped.
+func (c *Coordinator) shutdown() {
+	close(c.jobs)
+	for c.inflight > 0 {
+		d := <-c.results
+		c.inflight--
+		putDeltas(d)
+	}
+	c.workerWg.Wait()
+	c.mu.Lock()
+	c.setStateLocked(StateStopped)
+	c.status.InFlight = 0
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	close(c.doneCh)
+}

@@ -1,0 +1,362 @@
+package fedserve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mobiledl/internal/data"
+	"mobiledl/internal/federated"
+	"mobiledl/internal/nn"
+	"mobiledl/internal/serve"
+	"mobiledl/internal/tensor"
+)
+
+// task bundles one synthetic federated train-to-serve setup.
+type task struct {
+	factory federated.ModelFactory
+	shards  []*data.ClientShard
+	classes int
+	evalX   *tensor.Matrix
+	evalY   []int
+}
+
+func newTask(t *testing.T, clients int, iid bool) *task {
+	t.Helper()
+	fb, err := data.GenerateFedBench(data.FedBenchConfig{
+		Samples: 600, Classes: 4, Dim: 8, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trX, trY, teX, teY, err := fb.Split(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var shards []*data.ClientShard
+	if iid {
+		shards, err = data.ShardIID(rng, trX, trY, clients)
+	} else {
+		shards, err = data.ShardNonIID(rng, trX, trY, clients)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func() (*nn.Sequential, error) {
+		r := rand.New(rand.NewSource(42))
+		return nn.NewSequential(
+			nn.NewDense(r, 8, 16),
+			nn.NewReLU(),
+			nn.NewDense(r, 16, 4),
+		), nil
+	}
+	return &task{factory: factory, shards: shards, classes: 4, evalX: teX, evalY: teY}
+}
+
+func (tk *task) config(reg *serve.Registry, model string) Config {
+	return Config{
+		Factory:     tk.factory,
+		Shards:      tk.shards,
+		Classes:     tk.classes,
+		EvalX:       tk.evalX,
+		EvalY:       tk.evalY,
+		Rounds:      10,
+		LocalEpochs: 2, LocalBatch: 16, LocalLR: 0.1,
+		Seed:     1,
+		Workers:  4,
+		Registry: reg,
+		Model:    model,
+	}
+}
+
+// TestTrainToServeImprovesAcrossVersions is the end-to-end acceptance check:
+// the coordinator trains on non-IID shards and hot-publishes into the
+// registry while 32 concurrent clients keep predict traffic flowing through
+// a serve.Runtime — and the accuracy of served predictions improves across
+// at least three auto-published versions. Run under -race this doubles as
+// the coordinator/registry/batcher race test.
+func TestTrainToServeImprovesAcrossVersions(t *testing.T) {
+	tk := newTask(t, 6, false)
+	reg := serve.NewRegistry()
+	coord, err := NewCoordinator(tk.config(reg, "fedmlp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Version 1 (the untrained round-0 model) must be serving already.
+	if _, err := reg.Get("fedmlp"); err != nil {
+		t.Fatalf("initial version not published: %v", err)
+	}
+
+	rt, err := serve.NewRuntime(serve.RuntimeConfig{
+		Registry: reg, Model: "fedmlp",
+		Batch: serve.BatcherConfig{MaxBatch: 8, MaxDelay: 200 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// 32 concurrent clients hammer predictions across every hot swap.
+	ctx, cancel := context.WithCancel(context.Background())
+	var clients sync.WaitGroup
+	var served, versionSpread atomic.Int64
+	seen := make([]atomic.Bool, 64)
+	for i := 0; i < 32; i++ {
+		clients.Add(1)
+		go func(id int) {
+			defer clients.Done()
+			row := tk.evalX.Row(id % tk.evalX.Rows())
+			for ctx.Err() == nil {
+				res, err := rt.Predict(ctx, row)
+				if err != nil {
+					if ctx.Err() == nil && !errors.Is(err, serve.ErrClosed) {
+						t.Errorf("client %d: %v", id, err)
+					}
+					return
+				}
+				served.Add(1)
+				if res.ModelVersion < len(seen) && !seen[res.ModelVersion].Swap(true) {
+					versionSpread.Add(1)
+				}
+			}
+		}(i)
+	}
+
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	coord.Wait()
+	cancel()
+	clients.Wait()
+
+	st := coord.Status()
+	if st.State != StateStopped {
+		t.Fatalf("state %s after Wait", st.State)
+	}
+	if len(st.Published) < 3 {
+		t.Fatalf("published %d versions, want >= 3 (status %+v)", len(st.Published), st)
+	}
+	for i := 1; i < len(st.Published); i++ {
+		if st.Published[i].Accuracy < st.Published[i-1].Accuracy {
+			t.Fatalf("published accuracy regressed: %v", st.Published)
+		}
+		if st.Published[i].Version <= st.Published[i-1].Version {
+			t.Fatalf("versions not increasing: %v", st.Published)
+		}
+	}
+	first, last := st.Published[0], st.Published[len(st.Published)-1]
+	if last.Accuracy <= first.Accuracy {
+		t.Fatalf("accuracy did not improve: v%d %.3f -> v%d %.3f",
+			first.Version, first.Accuracy, last.Version, last.Accuracy)
+	}
+	if served.Load() == 0 {
+		t.Fatal("no predictions served during training")
+	}
+
+	// The current registry version carries fedserve provenance on /v1/models.
+	var found bool
+	for _, info := range reg.Snapshot() {
+		if info.Name == "fedmlp" {
+			found = true
+			if info.Train == nil || info.Train.Source != "fedserve" {
+				t.Fatalf("missing train metadata: %+v", info)
+			}
+			if info.Train.Round != last.Round || info.Train.Accuracy != last.Accuracy {
+				t.Fatalf("metadata mismatch: %+v vs published %+v", info.Train, last)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fedmlp missing from registry snapshot")
+	}
+}
+
+// TestCoordinatorDeterministicAcrossWorkers: with synchronous rounds
+// (Quorum=1) and a fixed seed, the parallel fan-out must reproduce the
+// sequential run bit-for-bit — identical round stats and identical final
+// weights.
+func TestCoordinatorDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) ([]federated.RoundStats, []byte) {
+		tk := newTask(t, 6, true)
+		reg := serve.NewRegistry()
+		cfg := tk.config(reg, "m")
+		cfg.Workers = workers
+		coord, err := NewCoordinator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.Start(); err != nil {
+			t.Fatal(err)
+		}
+		coord.Wait()
+		blob, err := reg.Checkpoint("m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return coord.History(), blob
+	}
+	seqStats, seqBlob := run(1)
+	parStats, parBlob := run(4)
+	if len(seqStats) != len(parStats) {
+		t.Fatalf("round counts differ: %d vs %d", len(seqStats), len(parStats))
+	}
+	for i := range seqStats {
+		if seqStats[i] != parStats[i] {
+			t.Fatalf("round %d stats differ:\nseq %+v\npar %+v", i, seqStats[i], parStats[i])
+		}
+	}
+	if !bytes.Equal(seqBlob, parBlob) {
+		t.Fatal("final published weights differ between worker counts")
+	}
+}
+
+// TestCoordinatorAsyncMergesWithQuorum: with a partial quorum the loop must
+// keep making progress, merge stragglers with staleness weighting, and still
+// publish improved versions.
+func TestCoordinatorAsyncMergesWithQuorum(t *testing.T) {
+	tk := newTask(t, 8, true)
+	reg := serve.NewRegistry()
+	cfg := tk.config(reg, "async")
+	cfg.Rounds = 12
+	cfg.Quorum = 0.5
+	cfg.MaxStaleness = 2
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	coord.Wait()
+	st := coord.Status()
+	if st.MergedUpdates == 0 {
+		t.Fatalf("async run merged nothing: %+v", st)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight work leaked: %+v", st)
+	}
+	if len(st.Published) < 2 {
+		t.Fatalf("async run published %d versions, want >= 2", len(st.Published))
+	}
+	if st.BestAccuracy <= st.Published[0].Accuracy {
+		t.Fatalf("async training did not improve: %+v", st.Published)
+	}
+}
+
+// TestCoordinatorDPReportsEpsilon: DP aggregation must run, publish, and
+// surface a growing privacy spend.
+func TestCoordinatorDPReportsEpsilon(t *testing.T) {
+	tk := newTask(t, 6, true)
+	reg := serve.NewRegistry()
+	cfg := tk.config(reg, "dp")
+	cfg.Rounds = 6
+	cfg.ClientFraction = 0.5
+	cfg.DP = &DPConfig{Clip: 5, Sigma: 0.5}
+	// Noise can regress individual evals; tolerate small drops so the run
+	// still publishes.
+	cfg.AccuracyDrop = 0.05
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	coord.Wait()
+	st := coord.Status()
+	if st.Epsilon <= 0 {
+		t.Fatalf("DP run reported epsilon %v", st.Epsilon)
+	}
+	if len(st.Published) < 1 {
+		t.Fatal("DP run never published")
+	}
+}
+
+func TestCoordinatorPauseResumeStop(t *testing.T) {
+	tk := newTask(t, 4, true)
+	reg := serve.NewRegistry()
+	cfg := tk.config(reg, "ctl")
+	cfg.Rounds = 0 // run until stopped
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Pause(); !errors.Is(err, ErrState) {
+		t.Fatalf("pausing an idle coordinator: %v", err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := coord.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	// Paused: round counter must stop advancing once the boundary is reached.
+	deadline := time.Now().Add(2 * time.Second)
+	var r1 int
+	for {
+		if coord.Status().State == StatePaused {
+			r1 = coord.Status().Round
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never observed paused state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if r2 := coord.Status().Round; r2 != r1 {
+		t.Fatalf("rounds advanced while paused: %d -> %d", r1, r2)
+	}
+	if err := coord.Start(); err != nil { // resume
+		t.Fatal(err)
+	}
+	coord.Stop()
+	coord.Stop() // idempotent
+	if st := coord.Status(); st.State != StateStopped {
+		t.Fatalf("state %s after stop", st.State)
+	}
+	if err := coord.Start(); !errors.Is(err, ErrState) {
+		t.Fatalf("starting a stopped coordinator: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tk := newTask(t, 4, true)
+	reg := serve.NewRegistry()
+	good := tk.config(reg, "v")
+	bad := []func(*Config){
+		func(c *Config) { c.Factory = nil },
+		func(c *Config) { c.Shards = nil },
+		func(c *Config) { c.Classes = 1 },
+		func(c *Config) { c.EvalX = nil },
+		func(c *Config) { c.EvalY = c.EvalY[:1] },
+		func(c *Config) { c.Registry = nil },
+		func(c *Config) { c.Model = "" },
+		func(c *Config) { c.Rounds = -1 },
+		func(c *Config) { c.ClientFraction = 1.5 },
+		func(c *Config) { c.Quorum = -0.1 },
+		func(c *Config) { c.LocalLR = 0 },
+		func(c *Config) { c.DP = &DPConfig{Clip: 0, Sigma: 1} },
+		func(c *Config) { c.DP = &DPConfig{Clip: 1, Sigma: 1}; c.Quorum = 0.5 },
+	}
+	for i, mutate := range bad {
+		cfg := good
+		mutate(&cfg)
+		if _, err := NewCoordinator(cfg); !errors.Is(err, ErrConfig) {
+			t.Fatalf("case %d: want ErrConfig, got %v", i, err)
+		}
+	}
+	if _, err := NewCoordinator(good); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+}

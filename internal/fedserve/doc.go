@@ -1,0 +1,36 @@
+// Package fedserve closes the paper's train-to-serve loop: an asynchronous
+// federated-training coordinator that runs rounds continuously and
+// hot-publishes every accepted global model into a serve.Registry, so
+// /v1/predict traffic migrates to better models mid-flight with no restart.
+//
+// One Coordinator owns the loop. Each round it
+//
+//  1. gates device eligibility through federated.Scheduler (the paper's
+//     "idle, plugged in, on WiFi" constraint) and samples a cohort,
+//  2. fans client training out across a GOMAXPROCS-bounded worker pool via
+//     the federated.Trainer seam, each client working against a pooled
+//     snapshot of the dispatch-time global parameters,
+//  3. merges the returned parameter deltas — waiting for the full cohort
+//     (Quorum=1, deterministic for a fixed seed) or merging early and
+//     folding stragglers into later rounds with staleness-decayed weight,
+//     bounded by MaxStaleness (staler updates are dropped),
+//  4. optionally aggregates privately (DPConfig): per-client joint-L2 clip,
+//     fixed-denominator average, Gaussian noise, with a moments accountant
+//     reporting the cumulative epsilon in Status, and
+//  5. on the EvalEvery cadence, evaluates the global model on the held-out
+//     set and publishes it — nn.EncodeWeights checkpoint, decoded into a
+//     fresh factory copy, installed via Registry.InstallWithMeta with
+//     round/accuracy provenance — unless it regresses past AccuracyDrop
+//     below the best published accuracy (eval-gated acceptance).
+//
+// Construction publishes the initial model as version 1, so a serve.Runtime
+// can attach before any training happens and the version chain on
+// /v1/models shows accuracy climbing from the untrained baseline.
+//
+// Control exposes the coordinator over HTTP (POST /v1/train/start, POST
+// /v1/train/pause, GET /v1/train/status), mounted next to the serving API
+// by cmd/mobiledlserve's -train flag. examples/trainserve is the end-to-end
+// demo: training on non-IID shards while a concurrent client watches served
+// accuracy improve across hot-swapped versions. See ARCHITECTURE.md at the
+// repository root for the full data-flow diagram.
+package fedserve

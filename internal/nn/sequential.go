@@ -67,6 +67,36 @@ func (s *Sequential) Params() []*Param {
 	return ps
 }
 
+// InferPooled runs an inference forward pass (train=false), recycling every
+// intermediate activation through the shared tensor pool as soon as the next
+// layer has consumed it. It relies on the Layer inference contract — each
+// layer returns a freshly allocated output and retains no reference to its
+// input outside train mode — which every layer in this package satisfies.
+// The returned matrix is freshly allocated and owned by the caller (callers
+// on a hot path may Put it when done).
+func (s *Sequential) InferPooled(x *tensor.Matrix) (*tensor.Matrix, error) {
+	cur := x
+	for i, l := range s.layers {
+		next, err := l.Forward(cur, false)
+		if err != nil {
+			if cur != x {
+				tensor.Put(cur)
+			}
+			return nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+		if cur != x && next != cur {
+			tensor.Put(cur)
+		}
+		cur = next
+	}
+	if cur == x {
+		// Empty (or fully identity) chain: the caller owns the result, so it
+		// must not alias the input.
+		return x.Clone(), nil
+	}
+	return cur, nil
+}
+
 // Predict runs inference (train=false) and returns the per-row argmax class.
 func (s *Sequential) Predict(x *tensor.Matrix) ([]int, error) {
 	out, err := s.Forward(x, false)

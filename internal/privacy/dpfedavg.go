@@ -8,7 +8,6 @@ import (
 	"mobiledl/internal/data"
 	"mobiledl/internal/federated"
 	"mobiledl/internal/nn"
-	"mobiledl/internal/opt"
 	"mobiledl/internal/tensor"
 )
 
@@ -32,8 +31,11 @@ type DPFedAvgConfig struct {
 	Clip        float64
 	Sigma       float64
 	Seed        int64
-	Eval        func(model *nn.Sequential) (float64, error)
-	EvalEvery   int
+	// Workers sizes the client-training worker pool (0 = GOMAXPROCS). Like
+	// RunFedAvg, results are identical for any worker count.
+	Workers   int
+	Eval      func(model *nn.Sequential) (float64, error)
+	EvalEvery int
 }
 
 func (c *DPFedAvgConfig) validate(numClients int) error {
@@ -102,32 +104,62 @@ func RunDPFedAvg(factory federated.ModelFactory, shards []*data.ClientShard, cla
 		deltas[i] = tensor.New(p.Value.Rows(), p.Value.Cols())
 	}
 
+	trainer := &federated.SGDTrainer{
+		Factory: factory,
+		Classes: classes,
+		Epochs:  cfg.LocalEpochs,
+		Batch:   cfg.LocalBatch,
+		LR:      cfg.LocalLR,
+	}
+	globalVals := federated.ParamValues(globalParams)
+
+	// Per-client delta scratch, pooled: one buffer set reused across every
+	// client of every round (the joint clip needs a whole client's delta at
+	// once, so the subtraction cannot stream into the accumulator directly).
+	scratch := make([]*tensor.Matrix, len(globalParams))
+	for i, p := range globalParams {
+		scratch[i] = tensor.Get(p.Value.Rows(), p.Value.Cols())
+		defer tensor.Put(scratch[i])
+	}
+
 	for round := 0; round < cfg.Rounds; round++ {
 		for i := range deltas {
 			deltas[i].Zero()
 		}
-		participating := 0
-		var roundLoss float64
+		// Independent Bernoulli(P) selection, with per-client seeds drawn in
+		// client order so the parallel fan-out reproduces the sequential run.
+		var selected []int
+		var seeds []int64
 		for k := range shards {
 			if rng.Float64() >= cfg.P {
 				continue
 			}
-			participating++
-			update, lossVal, err := clientDelta(factory, globalParams, shards[k], classes, cfg, rng.Int63())
+			selected = append(selected, k)
+			seeds = append(seeds, rng.Int63())
+		}
+		participating := len(selected)
+		var roundLoss float64
+		if participating > 0 {
+			updates, err := federated.FanOut(trainer, shards, selected, globalVals, seeds, cfg.Workers)
 			if err != nil {
-				return nil, fmt.Errorf("round %d client %d: %w", round, k, err)
+				return nil, fmt.Errorf("round %d: %w", round, err)
 			}
-			roundLoss += lossVal
-			// Bound the flattened update to L2 norm Clip (joint across all
-			// parameter matrices).
-			clipJoint(update, cfg.Clip)
-			for i := range deltas {
-				if err := tensor.AddInPlace(deltas[i], update[i]); err != nil {
-					return nil, err
+			for _, u := range updates {
+				roundLoss += u.Loss
+				// delta_k = w_local - w_global, bounded to joint L2 norm Clip
+				// across all parameter matrices.
+				for i := range scratch {
+					if err := tensor.SubInto(scratch[i], u.Weights[i], globalVals[i]); err != nil {
+						return nil, err
+					}
+				}
+				ClipJoint(scratch, cfg.Clip)
+				for i := range deltas {
+					if err := tensor.AddInPlace(deltas[i], scratch[i]); err != nil {
+						return nil, err
+					}
 				}
 			}
-		}
-		if participating > 0 {
 			roundLoss /= float64(participating)
 			upBytes += int64(participating) * paramBytes
 			downBytes += int64(participating) * paramBytes
@@ -167,47 +199,10 @@ func RunDPFedAvg(factory federated.ModelFactory, shards []*data.ClientShard, cla
 	return &DPFedAvgResult{Model: global, Stats: stats, Accountant: acct}, nil
 }
 
-// clientDelta trains a local copy and returns (w_local - w_global).
-func clientDelta(factory federated.ModelFactory, globalParams []*nn.Param, shard *data.ClientShard, classes int, cfg DPFedAvgConfig, seed int64) ([]*tensor.Matrix, float64, error) {
-	local, err := factory()
-	if err != nil {
-		return nil, 0, err
-	}
-	if err := nn.CopyWeights(local.Params(), globalParams); err != nil {
-		return nil, 0, err
-	}
-	y, err := nn.OneHot(shard.Labels, classes)
-	if err != nil {
-		return nil, 0, err
-	}
-	batch := cfg.LocalBatch
-	if batch <= 0 || batch > shard.Size() {
-		batch = shard.Size()
-	}
-	losses, err := nn.Train(local, shard.X, y, nn.TrainConfig{
-		Epochs:    cfg.LocalEpochs,
-		BatchSize: batch,
-		Optimizer: opt.NewSGD(cfg.LocalLR),
-		Loss:      nn.NewSoftmaxCrossEntropy(),
-		Rng:       rand.New(rand.NewSource(seed)),
-	})
-	if err != nil {
-		return nil, 0, err
-	}
-	localParams := local.Params()
-	update := make([]*tensor.Matrix, len(localParams))
-	for i := range localParams {
-		d, err := tensor.Sub(localParams[i].Value, globalParams[i].Value)
-		if err != nil {
-			return nil, 0, err
-		}
-		update[i] = d
-	}
-	return update, losses[len(losses)-1], nil
-}
-
-// clipJoint rescales the update set so its joint L2 norm is at most bound.
-func clipJoint(update []*tensor.Matrix, bound float64) {
+// ClipJoint rescales a parameter-update set so its joint L2 norm (flattened
+// across all matrices) is at most bound — the per-client bounding step of
+// DP-FedAvg, shared with the fedserve coordinator's DP merge.
+func ClipJoint(update []*tensor.Matrix, bound float64) {
 	var sq float64
 	for _, m := range update {
 		for _, v := range m.Data() {

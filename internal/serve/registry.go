@@ -23,6 +23,19 @@ type Factory func() (Backend, error)
 // resolving across hot swaps.
 const versionHistory = 4
 
+// VersionMeta is optional training provenance attached to an installed
+// version — which producer published it, after which training round, at what
+// held-out accuracy. The fedserve coordinator stamps every version it
+// publishes so /v1/models shows accuracy moving across hot swaps.
+type VersionMeta struct {
+	// Source names the producer (e.g. "fedserve").
+	Source string `json:"source,omitempty"`
+	// Round is the training round that produced these weights.
+	Round int `json:"round"`
+	// Accuracy is the held-out accuracy the version was accepted at.
+	Accuracy float64 `json:"accuracy"`
+}
+
 // Loaded is one immutable installed version of a model. Executors grab a
 // *Loaded per batch; hot swaps install a new one without disturbing batches
 // already running against the old.
@@ -34,7 +47,9 @@ type Loaded struct {
 	// into the backend for metadata.
 	Info BackendInfo
 	// Sizes is set when the model went through the compression pipeline.
-	Sizes    *compress.StageSizes
+	Sizes *compress.StageSizes
+	// Meta is the training provenance, when the installer supplied one.
+	Meta     *VersionMeta
 	LoadedAt time.Time
 }
 
@@ -48,6 +63,9 @@ type ModelInfo struct {
 	Compressed bool      `json:"compressed"`
 	Ratio      float64   `json:"compression_ratio,omitempty"`
 	LoadedAt   time.Time `json:"loaded_at"`
+	// Train carries the version's training provenance (round, held-out
+	// accuracy, producer) for versions published by a training pipeline.
+	Train *VersionMeta `json:"train,omitempty"`
 }
 
 type regEntry struct {
@@ -120,7 +138,7 @@ func (r *Registry) Load(name string, weights io.Reader) (int, error) {
 	if err := nn.LoadWeights(weights, ps); err != nil {
 		return 0, fmt.Errorf("serve: load %q: %w", name, err)
 	}
-	return r.install(e, name, b, nil)
+	return r.install(e, name, b, nil, nil)
 }
 
 // LoadCompressed loads weights like Load, then pushes the model through the
@@ -153,7 +171,7 @@ func (r *Registry) LoadCompressed(name string, weights io.Reader, cfg compress.P
 	if err != nil {
 		return 0, err
 	}
-	return r.install(e, name, nb, &res.Sizes)
+	return r.install(e, name, nb, &res.Sizes, nil)
 }
 
 // Install registers name on first use (with no factory) and installs an
@@ -161,6 +179,15 @@ func (r *Registry) LoadCompressed(name string, weights io.Reader, cfg compress.P
 // and the only path for baseline backends. Subsequent Installs under the
 // same name hot-swap and bump the version.
 func (r *Registry) Install(name string, b Backend) (int, error) {
+	return r.InstallWithMeta(name, b, nil)
+}
+
+// InstallWithMeta is Install carrying training provenance: the published
+// version records meta and surfaces it in Snapshot (the /v1/models listing),
+// so clients can see which round and held-out accuracy each hot-swapped
+// version came from. This is the publication path of the fedserve
+// coordinator.
+func (r *Registry) InstallWithMeta(name string, b Backend, meta *VersionMeta) (int, error) {
 	if name == "" {
 		return 0, fmt.Errorf("%w: install needs a name", ErrServe)
 	}
@@ -174,7 +201,7 @@ func (r *Registry) Install(name string, b Backend) (int, error) {
 		r.entries[name] = e
 	}
 	r.mu.Unlock()
-	return r.install(e, name, b, nil)
+	return r.install(e, name, b, nil, meta)
 }
 
 // Get returns the current version of a model; lock-free after the map read.
@@ -226,7 +253,7 @@ func (r *Registry) Snapshot() []ModelInfo {
 		info := ModelInfo{
 			Name: l.Name, Version: l.Version, Kind: l.Info.Kind,
 			Algorithm: l.Info.Algorithm, Params: l.Info.NumParams,
-			LoadedAt: l.LoadedAt,
+			LoadedAt: l.LoadedAt, Train: l.Meta,
 		}
 		if l.Sizes != nil {
 			info.Compressed = true
@@ -295,7 +322,7 @@ func (r *Registry) build(e *regEntry) (Backend, error) {
 // the served interface (input width or class count): the batcher's feature
 // dim is fixed at runtime construction, so such a swap would fail every
 // subsequent request instead of failing the swap.
-func (r *Registry) install(e *regEntry, name string, b Backend, sizes *compress.StageSizes) (int, error) {
+func (r *Registry) install(e *regEntry, name string, b Backend, sizes *compress.StageSizes, meta *VersionMeta) (int, error) {
 	info := b.Describe()
 	if info.InputDim <= 0 || info.Classes <= 0 {
 		return 0, fmt.Errorf("%w: backend for %q describes %d inputs, %d classes",
@@ -312,7 +339,7 @@ func (r *Registry) install(e *regEntry, name string, b Backend, sizes *compress.
 	e.version++
 	l := &Loaded{
 		Name: name, Version: e.version, Backend: b, Info: info,
-		Sizes: sizes, LoadedAt: time.Now(),
+		Sizes: sizes, Meta: meta, LoadedAt: time.Now(),
 	}
 	e.histMu.Lock()
 	if e.history == nil {

@@ -57,6 +57,37 @@ func mustDense(t *testing.T, seed int64) *DenseBackend {
 	return b
 }
 
+func TestRegistryInstallWithMetaSurfacesProvenance(t *testing.T) {
+	reg := NewRegistry()
+	meta := &VersionMeta{Source: "fedserve", Round: 7, Accuracy: 0.91}
+	if _, err := reg.InstallWithMeta("m", mustDense(t, 1), meta); err != nil {
+		t.Fatal(err)
+	}
+	l, err := reg.Get("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Meta == nil || *l.Meta != *meta {
+		t.Fatalf("Loaded.Meta = %+v, want %+v", l.Meta, meta)
+	}
+	snap := reg.Snapshot()
+	if len(snap) != 1 || snap[0].Train == nil || *snap[0].Train != *meta {
+		t.Fatalf("Snapshot lost provenance: %+v", snap)
+	}
+	// A plain Install hot-swap clears the provenance for the new version.
+	if _, err := reg.Install("m", mustDense(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if l, err = reg.Get("m"); err != nil || l.Meta != nil {
+		t.Fatalf("unannotated version kept stale meta: %+v err %v", l.Meta, err)
+	}
+	// The annotated version stays resolvable (and annotated) in history.
+	old, err := reg.GetVersion("m", 1)
+	if err != nil || old.Meta == nil || old.Meta.Round != 7 {
+		t.Fatalf("historical version lost meta: %+v err %v", old, err)
+	}
+}
+
 func TestRegistryLoadHotSwapRoundTrip(t *testing.T) {
 	reg := NewRegistry()
 	if err := reg.Register("mlp", mlpFactory(1)); err != nil {

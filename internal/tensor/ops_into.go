@@ -291,6 +291,21 @@ func AddInto(dst, a, b *Matrix) error {
 	return nil
 }
 
+// SubInto computes dst = a - b elementwise. dst may alias a or b.
+func SubInto(dst, a, b *Matrix) error {
+	if err := sameShape("SubInto", a, b); err != nil {
+		return err
+	}
+	if err := checkDstShape("SubInto", dst, a.rows, a.cols); err != nil {
+		return err
+	}
+	ad, bd2 := a.data, b.data
+	for i := range dst.data {
+		dst.data[i] = ad[i] - bd2[i]
+	}
+	return nil
+}
+
 // MulInto computes the elementwise product dst = a ⊙ b. dst may alias a or b.
 func MulInto(dst, a, b *Matrix) error {
 	if err := sameShape("MulInto", a, b); err != nil {

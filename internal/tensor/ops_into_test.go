@@ -165,6 +165,9 @@ func TestIntoShapeChecks(t *testing.T) {
 	if err := AddInto(New(2, 3), a, New(3, 2)); err == nil {
 		t.Fatal("AddInto accepted mismatched operands")
 	}
+	if err := SubInto(New(3, 2), a, a); err == nil {
+		t.Fatal("SubInto accepted wrong dst shape")
+	}
 	if err := TInto(New(2, 3), a); err == nil {
 		t.Fatal("TInto accepted un-transposed dst shape")
 	}
@@ -188,6 +191,18 @@ func TestElementwiseIntoAliasing(t *testing.T) {
 	}
 	if !dst.Equal(want, 0) {
 		t.Fatal("AddInto with dst aliasing a diverges")
+	}
+
+	wantSub, err := Sub(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst = a.Clone()
+	if err := SubInto(dst, dst, b); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Equal(wantSub, 0) {
+		t.Fatal("SubInto with dst aliasing a diverges")
 	}
 
 	wantMul, err := Mul(a, b)
