@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt docs-check cover bench serve-bench bench-json
+.PHONY: all build test race vet lint loadcheck fmt docs-check cover bench serve-bench bench-json
 
 all: build test vet
 
@@ -22,6 +22,21 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. CI installs staticcheck; locally the target
+# degrades to a notice instead of failing on a missing binary.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+# Overload/deadline drill: the admission-control, cancellation, and drain
+# tests under the race detector — the serving runtime's survival story.
+loadcheck:
+	$(GO) test -race -run 'Overload|Shed|Expired|Abandoned|Drain|QueueFull|RateWindow|Timeout|QuantileEdges|Prom' \
+		./internal/serve/... ./internal/metrics/...
 
 # Coverage summary: per-function table plus the total, written from a
 # throwaway profile (cover.out is gitignored by convention, not committed).

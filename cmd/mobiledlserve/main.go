@@ -9,11 +9,20 @@
 // Endpoints:
 //
 //	POST /v1/predict  {"model":"mlp","features":[[...64 floats...]],
-//	                   "options":{"top_k":3,"version":1,"no_perturb":false}}
-//	GET  /v1/stats    p50/p99 latency, throughput, batch occupancy
+//	                   "options":{"top_k":3,"version":1,"no_perturb":false},
+//	                   "timeout_ms":250}
+//	GET  /v1/stats    p50/p99 latency, windowed throughput, shed/expired
 //	GET  /v1/models   registry listing (kind, versions, compression ratio,
 //	                  training provenance)
+//	GET  /metrics     Prometheus text exposition (serving + training)
 //	GET  /healthz
+//
+// Every predict request runs under a deadline (the -budget default or the
+// request's timeout_ms); requests that outlive it are answered 504 and
+// pruned before they cost a backend execution. Admission is bounded
+// (-queue, -inflight): overload sheds with 429 + Retry-After instead of
+// queueing doomed work. SIGINT/SIGTERM shut down gracefully — intake stops,
+// in-flight batches drain, the registry closes.
 //
 // With -train the server additionally runs the federated train-to-serve
 // loop (internal/fedserve): a "fedmlp" model trains continuously on
@@ -28,11 +37,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mobiledl/internal/baselines"
@@ -66,6 +78,9 @@ func run(args []string) error {
 	maxBatch := fs.Int("batch", 32, "max coalesced batch size")
 	window := fs.Duration("window", 2*time.Millisecond, "batch latency budget")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	budget := fs.Duration("budget", time.Second, "default per-request deadline budget (0 = none; clients override with timeout_ms)")
+	queueCap := fs.Int("queue", 0, "admission queue cap per model (0 = default)")
+	inflight := fs.Int("inflight", 0, "max inflight requests per model (0 = default, negative = unlimited)")
 	sparsity := fs.Float64("sparsity", 0.9, "pruning sparsity for the compressed model")
 	bits := fs.Int("bits", 4, "quantization bits for the compressed model")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -88,9 +103,12 @@ func run(args []string) error {
 		return err
 	}
 
-	srv := serve.NewServer(reg)
+	srv := serve.NewServerWith(reg, serve.ServerConfig{DefaultTimeout: *budget})
 	defer srv.Close()
-	batch := serve.BatcherConfig{MaxBatch: *maxBatch, MaxDelay: *window, Workers: *workers}
+	batch := serve.BatcherConfig{
+		MaxBatch: *maxBatch, MaxDelay: *window, Workers: *workers,
+		QueueCap: *queueCap, MaxInflight: *inflight,
+	}
 	served := []string{"mlp", "mlp-compressed", "cascade", "forest"}
 
 	mux := http.NewServeMux()
@@ -101,6 +119,7 @@ func run(args []string) error {
 		}
 		defer coord.Stop()
 		fedserve.NewControl(coord).Mount(mux)
+		srv.AddMetricsSource(coord.WriteMetrics)
 		served = append(served, "fedmlp")
 		fmt.Println("federated train-to-serve loop ready: POST /v1/train/start to begin rounds")
 	}
@@ -125,8 +144,36 @@ func run(args []string) error {
 		}
 		fmt.Println(line)
 	}
-	fmt.Printf("listening on %s (batch<=%d, window %s, network %s)\n", *addr, *maxBatch, *window, net.Kind)
-	return http.ListenAndServe(*addr, mux)
+	fmt.Printf("listening on %s (batch<=%d, window %s, budget %s, network %s)\n",
+		*addr, *maxBatch, *window, *budget, net.Kind)
+
+	// A configured http.Server instead of bare ListenAndServe: header and
+	// idle timeouts bound slow-loris and dead keep-alive connections, and
+	// Shutdown gives SIGTERM/SIGINT a graceful path — stop intake, let
+	// in-flight handlers finish, then (via the deferred closes above) drain
+	// the batchers and release the registry.
+	hsrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hsrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("\nshutting down: stopping intake, draining in-flight requests...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hsrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
 }
 
 // setupTraining builds the federated train-to-serve coordinator: non-IID

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -15,6 +16,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"time"
 
@@ -153,7 +155,26 @@ func run() error {
 	st := demoRT.Stats()
 	fmt.Printf("demo served %d requests  p50 %.3fms  p99 %.3fms  mean batch occupancy %.1f\n",
 		st.Requests, st.LatencyMs.P50, st.LatencyMs.P99, st.BatchOccupancy)
-	return nil
+
+	// 6. The same counters export as Prometheus text on /metrics — the
+	// scrape surface for dashboards and alerting (shed/expired counts,
+	// latency histograms, queue depth).
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer mresp.Body.Close()
+	sc := bufio.NewScanner(mresp.Body)
+	printed := 0
+	for sc.Scan() && printed < 4 {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mobiledl_requests_total") ||
+			strings.HasPrefix(line, "mobiledl_requests_shed_total") {
+			fmt.Println("metrics:", line)
+			printed++
+		}
+	}
+	return sc.Err()
 }
 
 // trainCascade builds and trains a small split/early-exit cascade on the

@@ -1,0 +1,45 @@
+package fedserve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mobiledl/internal/metrics"
+	"mobiledl/internal/serve"
+)
+
+// TestWriteMetricsExportsTrainingGauges checks the coordinator's Prometheus
+// slice: construction publishes version 1, so the publication counter and
+// accuracy gauges must already be visible before any round runs.
+func TestWriteMetricsExportsTrainingGauges(t *testing.T) {
+	tk := newTask(t, 4, true)
+	reg := serve.NewRegistry()
+	coord, err := NewCoordinator(tk.config(reg, "fedmlp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Stop()
+
+	var buf bytes.Buffer
+	w := metrics.NewPromWriter(&buf)
+	coord.WriteMetrics(w)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{
+		`mobiledl_train_round{model="fedmlp"} 0`,
+		`mobiledl_train_published_total{model="fedmlp"} 1`,
+		`mobiledl_train_last_accuracy{model="fedmlp"}`,
+		"# TYPE mobiledl_train_round gauge",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in training metrics:\n%s", want, got)
+		}
+	}
+	// No DP configured: the epsilon gauge must be absent, not zero.
+	if strings.Contains(got, "mobiledl_train_epsilon") {
+		t.Fatalf("epsilon exported for a non-DP run:\n%s", got)
+	}
+}

@@ -70,6 +70,67 @@ func TestLatencyRecorderSlidingWindow(t *testing.T) {
 	}
 }
 
+// TestLatencyRecorderQuantileEdges pins the boundary cases: a window of
+// one sample answers every quantile with that sample, and q=0 / q=1 are the
+// window minimum and maximum exactly (no interpolation off the ends).
+func TestLatencyRecorderQuantileEdges(t *testing.T) {
+	one := NewLatencyRecorder(1)
+	one.Record(7)
+	one.Record(42) // window of 1: only the latest sample remains
+	for _, q := range []float64{0, 0.5, 1} {
+		got, err := one.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 42 {
+			t.Fatalf("Quantile(%v) on a window of 1 = %v, want 42", q, got)
+		}
+	}
+
+	r := NewLatencyRecorder(16)
+	for _, v := range []float64{9, 3, 12, 1, 6} {
+		r.Record(v)
+	}
+	if got, err := r.Quantile(0); err != nil || got != 1 {
+		t.Fatalf("Quantile(0) = %v, %v; want the window minimum 1", got, err)
+	}
+	if got, err := r.Quantile(1); err != nil || got != 12 {
+		t.Fatalf("Quantile(1) = %v, %v; want the window maximum 12", got, err)
+	}
+	if _, err := r.Quantile(math.NaN()); !errors.Is(err, ErrInput) {
+		t.Fatalf("NaN quantile: %v, want ErrInput", err)
+	}
+	if _, err := r.Quantile(-0.1); !errors.Is(err, ErrInput) {
+		t.Fatalf("negative quantile: %v, want ErrInput", err)
+	}
+}
+
+func TestLatencyRecorderHistogram(t *testing.T) {
+	r := NewLatencyRecorder(4)
+	for _, v := range []float64{0.01, 0.3, 30, 5000} {
+		r.Record(v)
+	}
+	h := r.Histogram()
+	if h.Count != 4 || math.Abs(h.Sum-5030.31) > 1e-9 {
+		t.Fatalf("histogram count=%d sum=%v", h.Count, h.Sum)
+	}
+	if len(h.Counts) != len(h.Bounds) {
+		t.Fatalf("%d counts for %d bounds", len(h.Counts), len(h.Bounds))
+	}
+	// Cumulative counts must be monotonic and end below Count when samples
+	// overflow the last bound (5000 > 1000 lives only in +Inf).
+	var prev uint64
+	for i, c := range h.Counts {
+		if c < prev {
+			t.Fatalf("bucket %d not cumulative: %v", i, h.Counts)
+		}
+		prev = c
+	}
+	if last := h.Counts[len(h.Counts)-1]; last != 3 {
+		t.Fatalf("last bound holds %d, want 3 (one sample beyond every bound)", last)
+	}
+}
+
 func TestLatencyRecorderConcurrent(t *testing.T) {
 	r := NewLatencyRecorder(64)
 	var wg sync.WaitGroup

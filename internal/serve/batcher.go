@@ -2,15 +2,17 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobiledl/internal/tensor"
 )
 
-// BatcherConfig tunes the request-coalescing policy.
+// BatcherConfig tunes the request-coalescing and admission policy.
 type BatcherConfig struct {
 	// MaxBatch flushes a batch as soon as this many requests are pending
 	// (default 32).
@@ -20,10 +22,20 @@ type BatcherConfig struct {
 	MaxDelay time.Duration
 	// Workers sizes the execution pool (default GOMAXPROCS).
 	Workers int
-	// QueueCap bounds the submit channel; Submit blocks (or honors its
-	// context) when full (default 4*MaxBatch).
+	// QueueCap bounds the submit channel. A full queue sheds: Submit fails
+	// fast with ErrOverloaded instead of queueing work whose caller will
+	// time out before it runs (default max(4*MaxBatch, 1024) — one
+	// max-size HTTP fan-out fits without shedding).
 	QueueCap int
+	// MaxInflight caps admitted-but-unanswered requests (queued plus
+	// executing); past it Submit fails fast with ErrOverloaded. Zero means
+	// DefaultMaxInflight; negative disables the cap.
+	MaxInflight int
 }
+
+// DefaultMaxInflight is the per-model admission cap applied when
+// BatcherConfig.MaxInflight is zero.
+const DefaultMaxInflight = 8192
 
 func (c *BatcherConfig) fill() {
 	if c.MaxBatch <= 0 {
@@ -37,16 +49,28 @@ func (c *BatcherConfig) fill() {
 	}
 	if c.QueueCap <= 0 {
 		c.QueueCap = 4 * c.MaxBatch
+		if c.QueueCap < 1024 {
+			c.QueueCap = 1024
+		}
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = DefaultMaxInflight
 	}
 }
 
 // ExecFunc runs one coalesced tensor batch under uniform request options and
 // returns one Result per row. The batch matrix is pooled: it is only valid
 // for the duration of the call and must not be retained (or returned) by the
-// executor.
+// executor. The context is cancelled when the batcher closes or when every
+// submitter in the batch has abandoned its request — a backend that honors
+// it stops computing answers nobody will read.
 type ExecFunc func(ctx context.Context, batch *tensor.Matrix, opts RequestOptions) ([]Result, error)
 
 type request struct {
+	// ctx is the submitter's context: consulted at flush and exec time so a
+	// request whose caller already gave up is answered with its context
+	// error instead of occupying a batch slot.
+	ctx      context.Context
 	features []float64
 	opts     RequestOptions
 	enqueued time.Time
@@ -64,7 +88,10 @@ type response struct {
 // worker pool that calls the ExecFunc. Requests with different
 // execution-relevant options (version pin, no_perturb, top_k) are split into
 // separate exec calls at flush time, so one ExecFunc invocation always sees
-// uniform options. One Batcher serves one model runtime.
+// uniform options. Admission is bounded (QueueCap, MaxInflight) and
+// deadline-aware: rows whose submitter context is already done are pruned
+// before they cost a backend execution. One Batcher serves one model
+// runtime.
 type Batcher struct {
 	cfg  BatcherConfig
 	dim  int
@@ -73,16 +100,21 @@ type Batcher struct {
 	in      chan *request
 	batches chan []*request
 
-	// ctx is the execution context handed to every ExecFunc call; cancel
-	// fires in Close so backends that honor cancellation (e.g. ones calling
-	// external processes) cannot hang shutdown. The shipped backends ignore
-	// it, so queued requests still drain to completion on Close.
+	// ctx is the execution context every per-batch context derives from;
+	// cancel fires in Close so backends that honor cancellation (e.g. ones
+	// calling external processes) cannot hang shutdown. The shipped
+	// backends ignore it, so queued requests still drain to completion on
+	// Close.
 	ctx    context.Context
 	cancel context.CancelFunc
 
 	mu     sync.RWMutex // guards closed vs in-flight Submit sends
 	closed bool
 	wg     sync.WaitGroup // collector + workers
+
+	// inflight counts admitted-but-unanswered requests, the unit the
+	// MaxInflight admission cap meters.
+	inflight atomic.Int64
 
 	stats *collector
 }
@@ -113,8 +145,18 @@ func NewBatcher(dim int, cfg BatcherConfig, exec ExecFunc, stats *collector) (*B
 	return b, nil
 }
 
+// Inflight reports admitted-but-unanswered requests (queued + executing).
+func (b *Batcher) Inflight() int64 { return b.inflight.Load() }
+
+// QueueDepth reports requests sitting in the admission queue.
+func (b *Batcher) QueueDepth() int { return len(b.in) }
+
 // Submit enqueues one feature row with its request options and blocks until
-// the result is ready, the context is done, or the batcher closes.
+// the result is ready, ctx is done, or the batcher closes. Admission fails
+// fast: a full queue or inflight cap returns ErrOverloaded immediately so
+// overloaded servers shed instead of stacking up doomed work. ctx rides
+// with the request — if it expires while the row is still queued, the row
+// is answered with ctx.Err() and never reaches the backend.
 func (b *Batcher) Submit(ctx context.Context, features []float64, opts RequestOptions) (Result, error) {
 	if len(features) != b.dim {
 		return Result{}, fmt.Errorf("%w: got %d features, model expects %d", ErrRequest, len(features), b.dim)
@@ -122,7 +164,11 @@ func (b *Batcher) Submit(ctx context.Context, features []float64, opts RequestOp
 	if err := opts.Validate(); err != nil {
 		return Result{}, err
 	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	r := &request{
+		ctx:      ctx,
 		features: features,
 		opts:     opts,
 		enqueued: time.Now(),
@@ -133,19 +179,46 @@ func (b *Batcher) Submit(ctx context.Context, features []float64, opts RequestOp
 		b.mu.RUnlock()
 		return Result{}, ErrClosed
 	}
+	// Add-then-check keeps the cap airtight under concurrent Submits: a
+	// load-then-add pair would let a whole burst pass the same reading.
+	if max := b.cfg.MaxInflight; b.inflight.Add(1) > int64(max) && max > 0 {
+		b.inflight.Add(-1)
+		b.mu.RUnlock()
+		return Result{}, b.shed()
+	}
 	select {
 	case b.in <- r:
 		b.mu.RUnlock()
-	case <-ctx.Done():
+	default:
+		// Queue full: the collector is saturated. Shedding here (rather
+		// than blocking) is what keeps the queue from filling with
+		// requests staler than their callers' patience.
+		b.inflight.Add(-1)
 		b.mu.RUnlock()
-		return Result{}, ctx.Err()
+		return Result{}, b.shed()
 	}
 	select {
 	case resp := <-r.resp:
 		return resp.res, resp.err
 	case <-ctx.Done():
+		// The request stays admitted; the collector or a worker will
+		// observe the dead context, answer into the buffered channel, and
+		// release the inflight slot.
 		return Result{}, ctx.Err()
 	}
+}
+
+func (b *Batcher) shed() error {
+	if b.stats != nil {
+		b.stats.shed.Add(1)
+	}
+	return ErrOverloaded
+}
+
+// reply answers one request and releases its admission slot.
+func (b *Batcher) reply(r *request, resp response) {
+	r.resp <- resp
+	b.inflight.Add(-1)
 }
 
 // Close stops intake, cancels the execution context, drains pending
@@ -184,8 +257,24 @@ func (b *Batcher) collect() {
 		if len(pending) == 0 {
 			return
 		}
-		b.batches <- pending
+		// First deadline pass: rows whose caller already gave up are
+		// answered here and never occupy a batch slot.
+		live := pending[:0]
+		for _, r := range pending {
+			if err := r.ctx.Err(); err != nil {
+				if b.stats != nil {
+					b.stats.expired.Add(1)
+				}
+				b.reply(r, response{err: err})
+				continue
+			}
+			live = append(live, r)
+		}
 		pending = nil
+		if len(live) == 0 {
+			return
+		}
+		b.batches <- live
 	}
 
 	for {
@@ -250,17 +339,74 @@ func (b *Batcher) runBatch(reqs []*request) {
 	}
 }
 
+// groupContext derives the context one exec call runs under. When every row
+// in the group is cancellable, the group context is cancelled as soon as the
+// last submitter abandons its request, so a context-honoring backend stops
+// mid-batch instead of finishing work nobody will read. Rows submitted with
+// a non-cancellable context (the benchmark/background case) short-circuit to
+// the batcher context with zero goroutine overhead. The returned release
+// func must be called after exec returns.
+func (b *Batcher) groupContext(reqs []*request) (context.Context, func()) {
+	for _, r := range reqs {
+		if r.ctx.Done() == nil {
+			return b.ctx, func() {}
+		}
+	}
+	ctx, cancel := context.WithCancel(b.ctx)
+	live := new(atomic.Int64)
+	live.Store(int64(len(reqs)))
+	// AfterFunc registers a per-row callback without spawning a goroutine,
+	// so the per-batch cost on the deadline-carrying hot path is a few
+	// list insertions, not len(reqs) goroutine create/destroy pairs.
+	stops := make([]func() bool, len(reqs))
+	for i, r := range reqs {
+		stops[i] = context.AfterFunc(r.ctx, func() {
+			if live.Add(-1) == 0 {
+				cancel()
+			}
+		})
+	}
+	return ctx, func() {
+		for _, stop := range stops {
+			stop()
+		}
+		cancel()
+	}
+}
+
 // execGroup assembles one uniform-options group into a pooled matrix, runs
 // the ExecFunc, and fans results (or the error) back out to the submitters.
+// Rows whose context died while the group queued are pruned first — the
+// second deadline pass — so the backend only ever computes rows somebody is
+// still waiting for; a group that is entirely dead skips the backend
+// altogether.
 func (b *Batcher) execGroup(reqs []*request) {
+	live := reqs[:0]
+	for _, r := range reqs {
+		if err := r.ctx.Err(); err != nil {
+			if b.stats != nil {
+				b.stats.expired.Add(1)
+			}
+			b.reply(r, response{err: err})
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	reqs = live
+
 	start := time.Now()
+	ctx, release := b.groupContext(reqs)
 	// Assemble into a pooled matrix: each worker recycles the previous
 	// batch's buffer instead of allocating one per flush.
 	batch := tensor.Get(len(reqs), b.dim)
 	for i, r := range reqs {
 		copy(batch.Row(i), r.features)
 	}
-	results, err := b.exec(b.ctx, batch, reqs[0].opts)
+	results, err := b.exec(ctx, batch, reqs[0].opts)
+	release()
 	tensor.Put(batch)
 	if err == nil && len(results) != len(reqs) {
 		err = fmt.Errorf("%w: executor returned %d results for %d rows", ErrServe, len(results), len(reqs))
@@ -269,9 +415,25 @@ func (b *Batcher) execGroup(reqs []*request) {
 	if b.stats != nil {
 		b.stats.recordBatch(len(reqs))
 	}
+	// A cancellation error means the run was aborted (all rows abandoned, or
+	// the batcher closing), not that the backend misbehaved; any other error
+	// is a backend fault and counts as one for every row — even rows whose
+	// own deadline happened to pass during the (executed) batch, so a
+	// failing backend can't hide behind tight client budgets.
+	aborted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 	for i, r := range reqs {
 		if err != nil {
-			r.resp <- response{err: err}
+			if ctxErr := r.ctx.Err(); ctxErr != nil && aborted {
+				if b.stats != nil {
+					b.stats.expired.Add(1)
+				}
+				b.reply(r, response{err: ctxErr})
+				continue
+			}
+			if b.stats != nil {
+				b.stats.errors.Add(1)
+			}
+			b.reply(r, response{err: err})
 			continue
 		}
 		res := results[i]
@@ -281,6 +443,6 @@ func (b *Batcher) execGroup(reqs []*request) {
 		if b.stats != nil {
 			b.stats.recordResult(res)
 		}
-		r.resp <- response{res: res}
+		b.reply(r, response{res: res})
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"mobiledl/internal/metrics"
 	"mobiledl/internal/mobile"
 )
 
@@ -101,7 +102,15 @@ func (rt *Runtime) PredictWith(ctx context.Context, features []float64, opts Req
 }
 
 // Stats snapshots the runtime's serving counters.
-func (rt *Runtime) Stats() Stats { return rt.stats.snapshot(rt.maxBatch) }
+func (rt *Runtime) Stats() Stats {
+	return rt.stats.snapshot(rt.maxBatch, rt.batcher.Inflight(), rt.batcher.QueueDepth())
+}
+
+// WriteMetrics renders the runtime's counters as Prometheus series labeled
+// with the model name — one model's slice of the /metrics payload.
+func (rt *Runtime) WriteMetrics(w *metrics.PromWriter) {
+	rt.stats.writeProm(w, rt.name, rt.maxBatch, rt.batcher.Inflight(), rt.batcher.QueueDepth())
+}
 
 // Close drains in-flight requests and stops the worker pool.
 func (rt *Runtime) Close() { rt.batcher.Close() }

@@ -25,10 +25,18 @@
 // version pin, no_perturb) thread from the HTTP layer through the batcher
 // into Backend.RunBatch.
 //
+// The predict path is deadline-aware and overload-safe: each request's
+// context rides with it through the batcher, rows whose caller has already
+// given up are pruned (at flush and at exec) instead of computed, a batch
+// whose every submitter is gone cancels the backend's context, and bounded
+// admission (QueueCap, MaxInflight) sheds with ErrOverloaded rather than
+// queueing doomed work.
+//
 // A Runtime wires registry, batcher, and executor together for one
 // registered model; Server exposes any number of runtimes over HTTP/JSON
-// (POST /v1/predict, GET /v1/stats, GET /v1/models) with p50/p99 latency,
-// throughput, and batch-occupancy stats backed by internal/metrics.
+// (POST /v1/predict, GET /v1/stats, GET /v1/models, GET /metrics) with
+// p50/p99 latency, sliding-window throughput, shed/expired/error counts,
+// and Prometheus exposition backed by internal/metrics.
 package serve
 
 import (
@@ -48,6 +56,13 @@ var ErrRequest = errors.New("serve: invalid request")
 // ErrClosed is returned by Submit/Predict after the runtime has shut down;
 // the HTTP layer maps it to 503.
 var ErrClosed = errors.New("serve: runtime closed")
+
+// ErrOverloaded is returned by Submit/Predict when admission control sheds
+// the request — the batcher's queue or inflight cap is full. It fails fast
+// by design: under overload, queueing more work only manufactures stale
+// requests whose callers time out before the answer computes. The HTTP
+// layer maps it to 429 with a Retry-After hint.
+var ErrOverloaded = errors.New("serve: overloaded, request shed")
 
 // ClassProb is one class's probability in a top-K breakdown.
 type ClassProb struct {

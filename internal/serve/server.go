@@ -1,35 +1,88 @@
 package serve
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
 	"sync"
+	"time"
+
+	"mobiledl/internal/metrics"
 )
+
+// ServerConfig tunes HTTP-level serving policy: the per-request compute
+// budget and the overload response.
+type ServerConfig struct {
+	// DefaultTimeout is the deadline budget applied to every /v1/predict
+	// request that does not carry its own timeout_ms (0 = no server-side
+	// deadline). The derived context rides each row through the batcher, so
+	// a request that outlives its budget is answered 504 and pruned before
+	// it costs a backend execution.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeout_ms (default 30s) so a
+	// client cannot pin a batch slot indefinitely.
+	MaxTimeout time.Duration
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c *ServerConfig) fill() {
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+}
 
 // Server exposes one or more runtimes over HTTP/JSON:
 //
 //	POST /v1/predict  {"model":"m","features":[[...],...],"options":{...}}
 //	GET  /v1/stats                                          -> per-model Stats
 //	GET  /v1/models                                         -> registry listing
+//	GET  /metrics                                           -> Prometheus text
 //	GET  /healthz                                           -> "ok"
 //
 // Rows of one predict call are submitted to the batcher individually, so
 // concurrent clients coalesce into shared tensor batches. The optional
 // "options" object carries per-request knobs: "top_k" (class-probability
 // breakdown), "version" (registry version pin), "no_perturb" (skip the
-// cascade privacy perturbation).
+// cascade privacy perturbation); the optional "timeout_ms" field sets the
+// request's deadline budget. Overload is shed with 429 + Retry-After, an
+// exhausted deadline is 504, and a closed runtime is 503.
 type Server struct {
 	registry *Registry
+	cfg      ServerConfig
 
 	mu       sync.RWMutex
 	runtimes map[string]*Runtime
+	sources  []func(*metrics.PromWriter)
 }
 
-// NewServer wraps a registry; runtimes are attached per served model.
+// NewServer wraps a registry with default policy; runtimes are attached per
+// served model.
 func NewServer(reg *Registry) *Server {
-	return &Server{registry: reg, runtimes: make(map[string]*Runtime)}
+	return NewServerWith(reg, ServerConfig{})
+}
+
+// NewServerWith wraps a registry under an explicit serving policy.
+func NewServerWith(reg *Registry, cfg ServerConfig) *Server {
+	cfg.fill()
+	return &Server{registry: reg, cfg: cfg, runtimes: make(map[string]*Runtime)}
+}
+
+// AddMetricsSource registers an extra producer for the /metrics payload —
+// the seam subsystems outside the serving package (e.g. the fedserve
+// training coordinator) export through without this package importing them.
+func (s *Server) AddMetricsSource(src func(*metrics.PromWriter)) {
+	s.mu.Lock()
+	s.sources = append(s.sources, src)
+	s.mu.Unlock()
 }
 
 // Add attaches a runtime under its model name.
@@ -64,6 +117,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -76,6 +130,9 @@ type PredictRequest struct {
 	Features [][]float64 `json:"features"`
 	// Options applies to every row of the request.
 	Options RequestOptions `json:"options"`
+	// TimeoutMs overrides the server's default deadline budget for this
+	// request (capped by ServerConfig.MaxTimeout; 0 inherits the default).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
 }
 
 // RowResult is one row's answer in a PredictResponse: the prediction plus
@@ -131,10 +188,33 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("%d feature rows exceeds the per-request limit of %d", len(req.Features), maxRowsPerRequest))
 		return
 	}
+	if req.TimeoutMs < 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("negative timeout_ms %d", req.TimeoutMs))
+		return
+	}
 	rt, ok := s.runtime(req.Model)
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("model %q not served", req.Model))
 		return
+	}
+
+	// Derive the request deadline: the client's timeout_ms if sent (capped),
+	// else the server's default budget. The context rides every row through
+	// the batcher, so an expired request is pruned instead of executed.
+	ctx := r.Context()
+	budget := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		// MaxTimeout caps only the client's ask; the operator-configured
+		// default is taken at face value.
+		budget = time.Duration(req.TimeoutMs) * time.Millisecond
+		if budget > s.cfg.MaxTimeout {
+			budget = s.cfg.MaxTimeout
+		}
+	}
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
 	}
 
 	// Fan the rows out so they coalesce with other clients' requests.
@@ -145,7 +225,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, row []float64) {
 			defer wg.Done()
-			results[i], errs[i] = rt.PredictWith(r.Context(), row, req.Options)
+			results[i], errs[i] = rt.PredictWith(ctx, row, req.Options)
 		}(i, row)
 	}
 	wg.Wait()
@@ -155,8 +235,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			switch {
 			case errors.Is(err, ErrRequest):
 				status = http.StatusBadRequest
+			case errors.Is(err, ErrOverloaded):
+				w.Header().Set("Retry-After",
+					strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+				status = http.StatusTooManyRequests
 			case errors.Is(err, ErrClosed):
 				status = http.StatusServiceUnavailable
+			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+				// The request's deadline budget ran out (or the client went
+				// away) before the model answered; the row was pruned, not
+				// computed.
+				status = http.StatusGatewayTimeout
 			}
 			httpError(w, status, err)
 			return
@@ -200,6 +289,39 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.registry.Snapshot())
+}
+
+// handleMetrics renders the Prometheus text exposition: every runtime's
+// counters/gauges/histograms plus any registered extra sources (e.g. the
+// fedserve training coordinator). Rendering goes through a buffer so a
+// mid-render error can still become a clean 500.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	var buf bytes.Buffer
+	pw := metrics.NewPromWriter(&buf)
+	s.mu.RLock()
+	names := make([]string, 0, len(s.runtimes))
+	for name := range s.runtimes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.runtimes[name].WriteMetrics(pw)
+	}
+	sources := append([]func(*metrics.PromWriter){}, s.sources...)
+	s.mu.RUnlock()
+	for _, src := range sources {
+		src(pw)
+	}
+	if err := pw.Flush(); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = buf.WriteTo(w)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRateWindowSlides pins the ThroughputRPS fix: the reported rate covers
+// only the sliding window, so it tracks current traffic and returns to zero
+// after idling — instead of a lifetime average that decays forever.
+func TestRateWindowSlides(t *testing.T) {
+	var rw rateWindow
+	base := time.Unix(1_000_000, 0)
+
+	// 300 events spread over the 3 seconds just before "now".
+	for s := 0; s < 3; s++ {
+		for i := 0; i < 100; i++ {
+			rw.record(base.Add(time.Duration(s) * time.Second))
+		}
+	}
+	now := base.Add(2 * time.Second)
+
+	// Long-uptime server: a lifetime average over 1000s would report 0.3
+	// rps; the window reports the actual ~10 rps (300 events / 30s window).
+	got := rw.rate(now, 1000)
+	if got != 10 {
+		t.Fatalf("windowed rate = %v, want 10", got)
+	}
+
+	// Young server: the divisor is the covered uptime, not the full window.
+	if got := rw.rate(now, 3); got != 100 {
+		t.Fatalf("young-uptime rate = %v, want 100", got)
+	}
+
+	// After a long idle period every slot ages out: the rate is zero, not a
+	// slowly-decaying lifetime average.
+	idle := now.Add(10 * time.Minute)
+	if got := rw.rate(idle, 1000); got != 0 {
+		t.Fatalf("post-idle rate = %v, want 0", got)
+	}
+}
+
+// TestRateWindowSlotReuse checks that a slot left over from an earlier lap
+// of the ring is reset, not accumulated into.
+func TestRateWindowSlotReuse(t *testing.T) {
+	var rw rateWindow
+	base := time.Unix(2_000_000, 0)
+	rw.record(base)
+	// One full ring lap later the same slot holds a different second.
+	later := base.Add(rateWindowSecs * time.Second)
+	rw.record(later)
+	rw.record(later)
+	if got := rw.rate(later, 1000); got*rateWindowSecs != 2 {
+		t.Fatalf("reused slot rate = %v, want 2 events over the window", got)
+	}
+}
+
+// TestStatsSnapshotCountsShedExpiredErrors checks the new counters surface
+// in the /v1/stats shape.
+func TestStatsSnapshotCountsShedExpiredErrors(t *testing.T) {
+	c := newCollector()
+	c.shed.Add(3)
+	c.expired.Add(2)
+	c.errors.Add(1)
+	s := c.snapshot(32, 7, 4)
+	if s.Shed != 3 || s.Expired != 2 || s.Errors != 1 {
+		t.Fatalf("counters %+v", s)
+	}
+	if s.Inflight != 7 || s.QueueDepth != 4 {
+		t.Fatalf("gauges inflight=%d queue=%d", s.Inflight, s.QueueDepth)
+	}
+}
