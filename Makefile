@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: all build test race vet lint loadcheck fmt docs-check cover bench serve-bench bench-json
+# Build stamp surfaced by the mobiledl_build_info metric and the server
+# banner. Defaults to the tag/commit when building from a git checkout.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -ldflags "-X mobiledl/internal/version.Version=$(VERSION)"
+
+.PHONY: all build test race vet lint loadcheck tracecheck fmt docs-check cover bench serve-bench bench-json
 
 all: build test vet
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 test:
 	$(GO) test ./...
@@ -38,6 +43,17 @@ loadcheck:
 	$(GO) test -race -run 'Overload|Shed|Expired|Abandoned|Drain|QueueFull|RateWindow|Timeout|QuantileEdges|Prom' \
 		./internal/serve/... ./internal/metrics/...
 
+# Tracing drill: the tracer package and every instrumented layer under the
+# race detector (64-way concurrent trace integrity through sub-batch splits,
+# traceparent propagation, tail retention churn, round traces), then the
+# overhead gate — serving with a sampled-out tracer must stay within 5% of
+# serving with no tracer at all.
+tracecheck:
+	$(GO) test -race ./internal/trace/...
+	$(GO) test -race -run 'Trace|Healthz|BuildInfo|BatchErrorLogged' \
+		./internal/serve/... ./internal/fedserve/...
+	MOBILEDL_TRACECHECK=1 $(GO) test -run TestTraceOverhead -v .
+
 # Coverage summary: per-function table plus the total, written from a
 # throwaway profile (cover.out is gitignored by convention, not committed).
 # CI runs this as a non-blocking report step.
@@ -60,7 +76,10 @@ docs-check:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-# Serving throughput at max batch sizes 1/8/32 (requests/sec).
+# Serving throughput at max batch sizes 1/8/32 (requests/sec), plus the
+# traced variants (sampled-out / sampled-all) for trace overhead numbers.
+# The unanchored pattern matches BenchmarkServeThroughputTraced as well, so
+# bench-json snapshots trace overhead alongside the plain throughput runs.
 serve-bench:
 	$(GO) test -run '^$$' -bench BenchmarkServeThroughput -benchtime 2s .
 

@@ -14,8 +14,16 @@
 //	GET  /v1/stats    p50/p99 latency, windowed throughput, shed/expired
 //	GET  /v1/models   registry listing (kind, versions, compression ratio,
 //	                  training provenance)
-//	GET  /metrics     Prometheus text exposition (serving + training)
-//	GET  /healthz
+//	GET  /v1/trace/recent  retained trace summaries (tail-based retention)
+//	GET  /v1/trace/{id}    one trace's span tree
+//	GET  /metrics     Prometheus text exposition (serving + training + build)
+//	GET  /healthz     readiness: 200 while serving, 503 while draining
+//
+// Predict requests are traced at the -trace-sample rate (an inbound W3C
+// traceparent header with the sampled flag always traces and joins the
+// caller's trace); finished traces are queryable from /v1/trace. Logs are
+// structured (log/slog, -log-level text to stderr) and carry trace ids for
+// correlation. -pprof mounts net/http/pprof under /debug/pprof/.
 //
 // Every predict request runs under a deadline (the -budget default or the
 // request's timeout_ms); requests that outlive it are answered 504 and
@@ -40,8 +48,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,6 +68,8 @@ import (
 	"mobiledl/internal/opt"
 	"mobiledl/internal/serve"
 	"mobiledl/internal/split"
+	"mobiledl/internal/trace"
+	"mobiledl/internal/version"
 )
 
 const (
@@ -89,12 +101,25 @@ func run(args []string) error {
 	train := fs.Bool("train", false, "serve a federated train-to-serve loop (fedmlp) with the /v1/train control plane")
 	trainClients := fs.Int("train-clients", 16, "simulated federated clients for -train")
 	trainInterval := fs.Duration("train-interval", 250*time.Millisecond, "pacing between federated rounds for -train")
+	drainGrace := fs.Duration("drain-grace", 500*time.Millisecond, "on shutdown, keep answering (with /healthz 503) this long before closing the listener, so load balancers observe the drain")
+	logLevel := fs.String("log-level", "info", "structured log level: debug|info|warn|error")
+	traceSample := fs.Float64("trace-sample", 0.1, "fraction of predict requests (and federated rounds) traced into /v1/trace (0 disables)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	net, err := parseNetwork(*network)
 	if err != nil {
 		return err
+	}
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.Config{Sample: *traceSample})
 	}
 
 	fmt.Println("training demonstration models on synthetic data...")
@@ -103,7 +128,9 @@ func run(args []string) error {
 		return err
 	}
 
-	srv := serve.NewServerWith(reg, serve.ServerConfig{DefaultTimeout: *budget})
+	srv := serve.NewServerWith(reg, serve.ServerConfig{
+		DefaultTimeout: *budget, Tracer: tracer, Logger: logger,
+	})
 	defer srv.Close()
 	batch := serve.BatcherConfig{
 		MaxBatch: *maxBatch, MaxDelay: *window, Workers: *workers,
@@ -112,8 +139,16 @@ func run(args []string) error {
 	served := []string{"mlp", "mlp-compressed", "cascade", "forest"}
 
 	mux := http.NewServeMux()
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Println("pprof mounted at /debug/pprof/")
+	}
 	if *train {
-		coord, err := setupTraining(reg, *trainClients, *trainInterval, *seed)
+		coord, err := setupTraining(reg, *trainClients, *trainInterval, *seed, tracer, logger)
 		if err != nil {
 			return err
 		}
@@ -128,6 +163,7 @@ func run(args []string) error {
 		rt, err := serve.NewRuntime(serve.RuntimeConfig{
 			Registry: reg, Model: name, Batch: batch,
 			Net: net, Seed: *seed, SleepNet: *sleepNet,
+			Logger: logger,
 		})
 		if err != nil {
 			return err
@@ -144,8 +180,8 @@ func run(args []string) error {
 		}
 		fmt.Println(line)
 	}
-	fmt.Printf("listening on %s (batch<=%d, window %s, budget %s, network %s)\n",
-		*addr, *maxBatch, *window, *budget, net.Kind)
+	fmt.Printf("mobiledlserve %s listening on %s (batch<=%d, window %s, budget %s, network %s, trace-sample %g)\n",
+		version.Version, *addr, *maxBatch, *window, *budget, net.Kind, *traceSample)
 
 	// A configured http.Server instead of bare ListenAndServe: header and
 	// idle timeouts bound slow-loris and dead keep-alive connections, and
@@ -168,6 +204,12 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 	fmt.Println("\nshutting down: stopping intake, draining in-flight requests...")
+	// Flip /healthz to 503 first and keep the listener open for the grace
+	// window so load balancers actually observe the drain and stop routing
+	// here; only then stop intake and let in-flight handlers finish.
+	srv.StartDrain()
+	stop() // restore default signal disposition: a second signal kills now
+	time.Sleep(*drainGrace)
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hsrv.Shutdown(shutCtx); err != nil {
@@ -176,13 +218,32 @@ func run(args []string) error {
 	return nil
 }
 
+// buildLogger builds the process logger: slog text to stderr at the
+// requested level.
+func buildLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (debug|info|warn|error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
 // setupTraining builds the federated train-to-serve coordinator: non-IID
 // client shards over a fresh synthetic task (same 64-dim/10-class interface
 // as the other served models), the idle/charging/WiFi eligibility scheduler,
 // and publication into the shared registry as "fedmlp". The coordinator
 // publishes the untrained model immediately so the runtime can attach; the
 // round loop starts via POST /v1/train/start.
-func setupTraining(reg *serve.Registry, clients int, interval time.Duration, seed int64) (*fedserve.Coordinator, error) {
+func setupTraining(reg *serve.Registry, clients int, interval time.Duration, seed int64, tracer *trace.Tracer, logger *slog.Logger) (*fedserve.Coordinator, error) {
 	fb, err := data.GenerateFedBench(data.FedBenchConfig{
 		Samples: 2000, Classes: classes, Dim: inputDim, Spread: 1.3, Seed: seed + 100,
 	})
@@ -213,6 +274,7 @@ func setupTraining(reg *serve.Registry, clients int, interval time.Duration, see
 		Seed: seed + 103, Scheduler: sched,
 		RoundInterval: interval,
 		Registry:      reg, Model: "fedmlp",
+		Tracer: tracer, Logger: logger,
 	})
 }
 

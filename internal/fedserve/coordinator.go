@@ -3,6 +3,7 @@ package fedserve
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"runtime"
@@ -17,6 +18,7 @@ import (
 	"mobiledl/internal/privacy"
 	"mobiledl/internal/serve"
 	"mobiledl/internal/tensor"
+	"mobiledl/internal/trace"
 )
 
 // ErrConfig reports an invalid coordinator configuration.
@@ -111,6 +113,13 @@ type Config struct {
 	AccuracyDrop float64
 	// RoundInterval paces the loop between rounds (0 = run flat out).
 	RoundInterval time.Duration
+
+	// Tracer, when set, samples coordinator rounds into long-lived traces
+	// (select -> client fan-out -> merge -> eval -> publish). Nil disables
+	// round tracing.
+	Tracer *trace.Tracer
+	// Logger receives structured training logs; nil means slog.Default().
+	Logger *slog.Logger
 }
 
 func (c *Config) validate() error {
@@ -190,14 +199,18 @@ type job struct {
 }
 
 // done is one finished client-training task, carrying the parameter delta
-// against the base the client trained from.
+// against the base the client trained from. start/end are stamped by the
+// worker; the channel send that delivers the struct to the driver gives the
+// happens-before edge, so the driver can materialize a span from them
+// without any worker ever touching a trace slab.
 type done struct {
-	round int
-	k     int
-	delta []*tensor.Matrix // pooled; the driver Puts after merging
-	n     int
-	loss  float64
-	err   error
+	round      int
+	k          int
+	delta      []*tensor.Matrix // pooled; the driver Puts after merging
+	n          int
+	loss       float64
+	err        error
+	start, end time.Time
 }
 
 // baseSnap is a pooled snapshot of the global parameters at dispatch time,
@@ -239,6 +252,8 @@ type Coordinator struct {
 	quorum     float64
 	decay      float64
 	staleMax   int
+	tracer     *trace.Tracer
+	logger     *slog.Logger
 
 	jobs     chan job
 	results  chan done
@@ -302,12 +317,17 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		quorum:     cfg.Quorum,
 		decay:      cfg.StalenessDecay,
 		staleMax:   cfg.MaxStaleness,
+		tracer:     cfg.Tracer,
+		logger:     cfg.Logger,
 		jobs:       make(chan job, len(cfg.Shards)),
 		results:    make(chan done, len(cfg.Shards)),
 		doneCh:     make(chan struct{}),
 		stopCh:     make(chan struct{}),
 		busy:       make(map[int]bool),
 		state:      StateIdle,
+	}
+	if c.logger == nil {
+		c.logger = slog.Default()
 	}
 	c.cond = sync.NewCond(&c.mu)
 	if c.evalEvery <= 0 {
@@ -437,9 +457,10 @@ func (c *Coordinator) worker() {
 
 // trainOne runs one client against its dispatch-time base snapshot and
 // returns the pooled parameter delta.
-func (c *Coordinator) trainOne(j job) done {
+func (c *Coordinator) trainOne(j job) (d done) {
 	defer j.base.release()
-	d := done{round: j.round, k: j.k}
+	d = done{round: j.round, k: j.k, start: time.Now()}
+	defer func() { d.end = time.Now() }()
 	res, err := c.trainer.TrainClient(c.cfg.Shards[j.k], j.base.vals, j.seed)
 	if err != nil {
 		d.err = err
@@ -510,8 +531,22 @@ func (c *Coordinator) awaitRunnable() bool {
 // collect to quorum, merge, and (on the eval cadence) evaluate and maybe
 // publish. It reports whether the round made any progress (dispatched or
 // collected anything).
+//
+// Sampled rounds become long-lived traces. Every span write happens on this
+// driver goroutine: client training is recorded from the worker-stamped
+// timestamps each done struct carries (the results-channel receive is the
+// happens-before edge), so stragglers from earlier rounds land in whichever
+// round's trace collects them.
 func (c *Coordinator) runRound(round int) bool {
+	var sp trace.Span
+	if c.tracer.Sample() {
+		sp = c.tracer.Start("fed.round",
+			trace.Str("model", c.cfg.Model), trace.Num("round", float64(round)))
+	}
+
+	sel := sp.Child("select")
 	dispatched := c.dispatch(round)
+	sel.End(trace.Num("cohort", float64(dispatched)))
 
 	// Collect: at least the quorum of this round's cohort — and, when
 	// nothing was dispatchable but work is still in flight, at least one
@@ -520,6 +555,7 @@ func (c *Coordinator) runRound(round int) bool {
 	if need == 0 && dispatched == 0 && c.inflight > 0 {
 		need = 1
 	}
+	fan := sp.Child("fanout")
 	var collected []done
 	for len(collected) < need && c.inflight > 0 {
 		d := <-c.results
@@ -539,16 +575,29 @@ func (c *Coordinator) runRound(round int) bool {
 		}
 		break
 	}
+	for _, d := range collected {
+		cs := fan.ChildAt("client", d.start, d.end.Sub(d.start),
+			trace.Num("client", float64(d.k)),
+			trace.Num("dispatch_round", float64(d.round)),
+			trace.Num("samples", float64(d.n)))
+		if d.err != nil {
+			cs.Annotate(trace.Str("error", d.err.Error()))
+		}
+	}
+	fan.End(trace.Num("collected", float64(len(collected))))
 
+	ms := sp.Child("merge")
 	c.merge(round, collected)
+	ms.End(trace.Num("merged_total", float64(c.status.MergedUpdates)))
 
 	// Evaluate on the cadence, but only when training actually advanced:
 	// rounds with no eligible devices (or only dropped/failed updates) would
 	// otherwise republish an unchanged model every EvalEvery rounds.
 	if c.mergedSinceEval > 0 && (round%c.evalEvery == 0 || round == c.cfg.Rounds) {
 		c.mergedSinceEval = 0
-		c.evalAndMaybePublish(round)
+		c.evalAndMaybePublish(round, sp)
 	}
+	sp.End(trace.Num("collected", float64(len(collected))))
 	return dispatched > 0 || len(collected) > 0
 }
 
@@ -646,6 +695,16 @@ func (c *Coordinator) merge(round int, collected []done) {
 			putDeltas(d)
 		}
 	}
+
+	if lastErr != nil {
+		c.logger.Warn("round had client or merge failures",
+			"model", c.cfg.Model, "round", round,
+			"failed", failed, "dropped_stale", dropped, "err", lastErr)
+	}
+	c.logger.Debug("round merged",
+		"model", c.cfg.Model, "round", round,
+		"merged", len(merged), "failed", failed, "dropped_stale", dropped,
+		"loss", roundLoss)
 
 	st := federated.RoundStats{
 		Round:              round,
@@ -758,14 +817,19 @@ func (c *Coordinator) mergeDP(merged []done) (float64, error) {
 // evalAndMaybePublish scores the global model on the held-out set and
 // publishes it as a new registry version unless it regresses more than
 // AccuracyDrop below the best published accuracy. Training always continues
-// from the merged state; only publication is gated.
-func (c *Coordinator) evalAndMaybePublish(round int) {
+// from the merged state; only publication is gated. sp is the round's trace
+// span (inactive when the round is untraced).
+func (c *Coordinator) evalAndMaybePublish(round int, sp trace.Span) {
+	es := sp.Child("eval")
 	acc, err := c.eval(c.global)
+	es.EndErr(err, trace.Num("accuracy", acc))
 
 	c.mu.Lock()
 	if err != nil {
 		c.status.LastError = fmt.Sprintf("round %d eval: %v", round, err)
 		c.mu.Unlock()
+		c.logger.Error("eval failed", "model", c.cfg.Model, "round", round,
+			"trace_id", sp.TraceID(), "err", err)
 		return
 	}
 	c.status.LastAccuracy = acc
@@ -779,12 +843,20 @@ func (c *Coordinator) evalAndMaybePublish(round int) {
 	c.mu.Unlock()
 
 	if !accept {
+		sp.Annotate(trace.Str("publish", "rejected"))
+		c.logger.Info("publication rejected (accuracy regression)",
+			"model", c.cfg.Model, "round", round, "accuracy", acc)
 		return
 	}
-	if err := c.publish(round, acc); err != nil {
+	ps := sp.Child("publish")
+	err = c.publish(round, acc)
+	ps.EndErr(err)
+	if err != nil {
 		c.mu.Lock()
 		c.status.LastError = fmt.Sprintf("round %d publish: %v", round, err)
 		c.mu.Unlock()
+		c.logger.Error("publish failed", "model", c.cfg.Model, "round", round,
+			"trace_id", sp.TraceID(), "err", err)
 	}
 }
 
@@ -824,6 +896,8 @@ func (c *Coordinator) publish(round int, acc float64) error {
 		Version: version, Round: round, Accuracy: acc, At: time.Now(),
 	})
 	c.mu.Unlock()
+	c.logger.Info("published model version",
+		"model", c.cfg.Model, "version", version, "round", round, "accuracy", acc)
 	return nil
 }
 

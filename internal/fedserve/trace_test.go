@@ -1,0 +1,76 @@
+package fedserve
+
+import (
+	"testing"
+
+	"mobiledl/internal/serve"
+	"mobiledl/internal/trace"
+)
+
+// TestCoordinatorRoundTraces runs a short federated loop with tracing on and
+// verifies rounds become long-lived traces with the full lifecycle: cohort
+// selection, client fan-out (one span per collected client, materialized by
+// the driver from worker-stamped timestamps), merge, eval, and publish.
+func TestCoordinatorRoundTraces(t *testing.T) {
+	tracer := trace.New(trace.Config{Sample: 1})
+	tk := newTask(t, 4, true)
+	reg := serve.NewRegistry()
+	cfg := tk.config(reg, "fedmlp")
+	cfg.Rounds = 3
+	cfg.Tracer = tracer
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	coord.Wait()
+
+	recent := tracer.Recent()
+	if len(recent) < 3 {
+		t.Fatalf("retained %d traces, want one per round (3)", len(recent))
+	}
+	// Every retained round trace must carry the round lifecycle; at least
+	// one (a round that trained and published) must have the full set.
+	sawFull := false
+	for _, sum := range recent {
+		if sum.Name != "fed.round" {
+			t.Fatalf("unexpected trace %q", sum.Name)
+		}
+		td := tracer.Get(sum.TraceID)
+		if td == nil {
+			t.Fatalf("listed trace %s not retrievable", sum.TraceID)
+		}
+		names := map[string]int{}
+		var clientsUnderFanout, fanID int
+		for _, sp := range td.Spans {
+			names[sp.Name]++
+			if sp.Name == "fanout" {
+				fanID = sp.ID
+			}
+		}
+		for _, sp := range td.Spans {
+			if sp.Name == "client" && sp.Parent == fanID {
+				clientsUnderFanout++
+				if sp.DurationMs <= 0 {
+					t.Fatalf("client span with zero duration in %s", sum.TraceID)
+				}
+			}
+		}
+		for _, want := range []string{"select", "fanout", "merge"} {
+			if names[want] != 1 {
+				t.Fatalf("round trace %s has %d %q spans: %v", sum.TraceID, names[want], want, names)
+			}
+		}
+		if names["client"] > 0 && clientsUnderFanout != names["client"] {
+			t.Fatalf("client spans not parented under fanout: %v", td.Spans)
+		}
+		if names["eval"] == 1 && names["publish"] == 1 && names["client"] > 0 {
+			sawFull = true
+		}
+	}
+	if !sawFull {
+		t.Fatal("no round trace captured the full select/fanout/client/merge/eval/publish lifecycle")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"mobiledl/internal/nn"
 	"mobiledl/internal/split"
 	"mobiledl/internal/tensor"
+	"mobiledl/internal/trace"
 )
 
 // Backend is one servable model family behind the batcher: anything that can
@@ -216,12 +217,15 @@ func (b *DenseBackend) Params() []*nn.Param { return b.net.Params() }
 func (b *DenseBackend) Close() error { return nil }
 
 // RunBatch implements Backend.
-func (b *DenseBackend) RunBatch(_ context.Context, env *ExecEnv, batch *tensor.Matrix, opts RequestOptions) (BatchResult, error) {
+func (b *DenseBackend) RunBatch(ctx context.Context, env *ExecEnv, batch *tensor.Matrix, opts RequestOptions) (BatchResult, error) {
 	plan, err := cheapestPlan(env, b.info.Workload, mobile.PlaceLocal, mobile.PlaceCloud)
 	if err != nil {
 		return BatchResult{}, err
 	}
+	bl := trace.LogFrom(ctx)
+	fw := bl.Begin("dense.forward")
 	logits, err := b.net.Forward(batch, false)
+	bl.EndErr(fw, err, trace.Str("placement", plan.Placement.String()))
 	if err != nil {
 		return BatchResult{}, err
 	}
@@ -312,13 +316,16 @@ func cascadeParams(c *split.EarlyExit) []*nn.Param {
 // calibration assumes offloading — so they serve under the split placement
 // whenever it is feasible and fall back to fully-local execution (e.g.
 // offline) otherwise.
-func (b *CascadeBackend) RunBatch(_ context.Context, env *ExecEnv, batch *tensor.Matrix, opts RequestOptions) (BatchResult, error) {
+func (b *CascadeBackend) RunBatch(ctx context.Context, env *ExecEnv, batch *tensor.Matrix, opts RequestOptions) (BatchResult, error) {
 	cascade := b.cascade
 	plan, err := choosePlan(env, b.info.Workload, mobile.PlaceSplit, mobile.PlaceLocal)
 	if err != nil {
 		return BatchResult{}, err
 	}
+	bl := trace.LogFrom(ctx)
+	dev := bl.Begin("cascade.device")
 	rep, err := cascade.Pipeline.TransformClean(batch)
+	bl.EndErr(dev, err, trace.Num("rows", float64(batch.Rows())))
 	if err != nil {
 		return BatchResult{}, err
 	}
@@ -328,7 +335,11 @@ func (b *CascadeBackend) RunBatch(_ context.Context, env *ExecEnv, batch *tensor
 	defer tensor.Put(rep)
 	exitProbs := tensor.Get(rep.Rows(), cascade.ExitClasses())
 	defer tensor.Put(exitProbs)
+	exit := bl.Begin("cascade.exit")
 	preds, offload, err := cascade.ExitLocallyInto(exitProbs, rep)
+	bl.EndErr(exit, err,
+		trace.Num("local_exits", float64(rep.Rows()-len(offload))),
+		trace.Num("offloads", float64(len(offload))))
 	if err != nil {
 		return BatchResult{}, err
 	}
@@ -347,13 +358,18 @@ func (b *CascadeBackend) RunBatch(_ context.Context, env *ExecEnv, batch *tensor
 	// cloud network runs on-device with neither. Local reports where the row
 	// was answered, so offloaded rows set it false either way.
 	overNet := plan.Placement != mobile.PlaceLocal
-	cloudScores, err := b.cloudFinish(env, rep, offload, overNet && !opts.NoPerturb)
+	cloudScores, err := b.cloudFinish(bl, env, rep, offload, overNet && !opts.NoPerturb)
 	if err != nil {
 		return BatchResult{}, err
 	}
 	var netMs float64
 	if overNet {
-		if netMs, err = env.TransferMs(plan.UpBytes, plan.DownBytes); err != nil {
+		up := bl.Begin("cascade.uplink")
+		netMs, err = env.TransferMs(plan.UpBytes, plan.DownBytes)
+		bl.EndErr(up, err, trace.Num("sim_net_ms", netMs),
+			trace.Num("up_bytes", float64(plan.UpBytes)),
+			trace.Num("down_bytes", float64(plan.DownBytes)))
+		if err != nil {
 			return BatchResult{}, err
 		}
 	}
@@ -374,7 +390,7 @@ func (b *CascadeBackend) RunBatch(_ context.Context, env *ExecEnv, batch *tensor
 // perturbation's RNG draws are serialized; the deep cloud forward pass runs
 // concurrently across workers (inference is stateless per the Layer
 // contract).
-func (b *CascadeBackend) cloudFinish(env *ExecEnv, rep *tensor.Matrix, offload []int, perturb bool) (*tensor.Matrix, error) {
+func (b *CascadeBackend) cloudFinish(bl *trace.BatchLog, env *ExecEnv, rep *tensor.Matrix, offload []int, perturb bool) (*tensor.Matrix, error) {
 	sub := tensor.Get(len(offload), rep.Cols())
 	defer tensor.Put(sub)
 	if err := rep.SelectRowsInto(sub, offload); err != nil {
@@ -382,19 +398,24 @@ func (b *CascadeBackend) cloudFinish(env *ExecEnv, rep *tensor.Matrix, offload [
 	}
 	in := sub
 	if perturb {
+		ps := bl.Begin("cascade.perturb")
 		var pert *tensor.Matrix
 		err := env.WithRNG(func(rng *rand.Rand) error {
 			var perr error
 			pert, perr = b.cascade.Pipeline.Perturb(rng, sub)
 			return perr
 		})
+		bl.EndErr(ps, err, trace.Num("rows", float64(len(offload))))
 		if err != nil {
 			return nil, err
 		}
 		defer tensor.Put(pert)
 		in = pert
 	}
-	return b.cascade.Pipeline.Cloud.Forward(in, false)
+	cs := bl.Begin("cascade.cloud")
+	out, err := b.cascade.Pipeline.Cloud.Forward(in, false)
+	bl.EndErr(cs, err, trace.Num("rows", float64(len(offload))))
+	return out, err
 }
 
 // ---------------------------------------------------------------------------
@@ -480,8 +501,11 @@ func probeClassifier(clf baselines.Classifier, dim, classes int) (err error) {
 }
 
 // RunBatch implements Backend.
-func (b *BaselineBackend) RunBatch(_ context.Context, _ *ExecEnv, batch *tensor.Matrix, opts RequestOptions) (BatchResult, error) {
+func (b *BaselineBackend) RunBatch(ctx context.Context, _ *ExecEnv, batch *tensor.Matrix, opts RequestOptions) (BatchResult, error) {
+	bl := trace.LogFrom(ctx)
+	sp := bl.Begin("baseline.predict")
 	probs, err := b.clf.PredictBatch(batch)
+	bl.EndErr(sp, err, trace.Str("algorithm", b.info.Algorithm))
 	if err != nil {
 		return BatchResult{}, err
 	}

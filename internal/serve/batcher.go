@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mobiledl/internal/tensor"
+	"mobiledl/internal/trace"
 )
 
 // BatcherConfig tunes the request-coalescing and admission policy.
@@ -75,6 +77,11 @@ type request struct {
 	opts     RequestOptions
 	enqueued time.Time
 	resp     chan response
+	// span is the submitter's trace span (the zero Span when the request is
+	// untraced). The batcher never writes spans itself — it only checks
+	// Active() to decide whether the batch needs a trace.BatchLog; the
+	// submitter materializes all span structure after the response arrives.
+	span trace.Span
 }
 
 type response struct {
@@ -117,7 +124,18 @@ type Batcher struct {
 	inflight atomic.Int64
 
 	stats *collector
+
+	// logger and model feed the batch-failure log line (set by the owning
+	// Runtime; logger defaults to slog.Default()). lastErrLog rate-limits it
+	// to one line per errLogInterval so a failing backend under load cannot
+	// flood the log — the full failure count is always in Stats.Errors.
+	logger     *slog.Logger
+	model      string
+	lastErrLog atomic.Int64
 }
+
+// errLogInterval is the minimum spacing between batch-failure log lines.
+const errLogInterval = time.Second
 
 // NewBatcher starts the collector and worker pool. dim is the required
 // feature width; exec runs each flushed batch. stats may be nil.
@@ -158,6 +176,13 @@ func (b *Batcher) QueueDepth() int { return len(b.in) }
 // with the request — if it expires while the row is still queued, the row
 // is answered with ctx.Err() and never reaches the backend.
 func (b *Batcher) Submit(ctx context.Context, features []float64, opts RequestOptions) (Result, error) {
+	return b.submit(ctx, features, opts, trace.SpanFrom(ctx))
+}
+
+// submit is Submit with the request's trace span already extracted — the
+// Runtime path resolves the span once and shares it between the batcher and
+// its own post-response span materialization.
+func (b *Batcher) submit(ctx context.Context, features []float64, opts RequestOptions, span trace.Span) (Result, error) {
 	if len(features) != b.dim {
 		return Result{}, fmt.Errorf("%w: got %d features, model expects %d", ErrRequest, len(features), b.dim)
 	}
@@ -173,6 +198,7 @@ func (b *Batcher) Submit(ctx context.Context, features []float64, opts RequestOp
 		opts:     opts,
 		enqueued: time.Now(),
 		resp:     make(chan response, 1), // buffered: a worker send never blocks on an abandoned request
+		span:     span,
 	}
 	b.mu.RLock()
 	if b.closed {
@@ -399,6 +425,17 @@ func (b *Batcher) execGroup(reqs []*request) {
 
 	start := time.Now()
 	ctx, release := b.groupContext(reqs)
+	// Traced batches get a BatchLog for the executor and backend to record
+	// child spans into; the common untraced batch pays one Active() check
+	// per row and allocates nothing.
+	var blog *trace.BatchLog
+	for _, r := range reqs {
+		if r.span.Active() {
+			blog = trace.NewBatchLog()
+			ctx = trace.WithLog(ctx, blog)
+			break
+		}
+	}
 	// Assemble into a pooled matrix: each worker recycles the previous
 	// batch's buffer instead of allocating one per flush.
 	batch := tensor.Get(len(reqs), b.dim)
@@ -421,6 +458,9 @@ func (b *Batcher) execGroup(reqs []*request) {
 	// own deadline happened to pass during the (executed) batch, so a
 	// failing backend can't hide behind tight client budgets.
 	aborted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	if err != nil && !aborted {
+		b.logBatchError(err, reqs)
+	}
 	for i, r := range reqs {
 		if err != nil {
 			if ctxErr := r.ctx.Err(); ctxErr != nil && aborted {
@@ -440,9 +480,46 @@ func (b *Batcher) execGroup(reqs []*request) {
 		res.BatchSize = len(reqs)
 		res.QueueMs = float64(start.Sub(r.enqueued).Microseconds()) / 1000
 		res.ExecMs = execMs
+		res.blog = blog
 		if b.stats != nil {
 			b.stats.recordResult(res)
 		}
 		b.reply(r, response{res: res})
 	}
+}
+
+// logBatchError emits one structured log line for a failed batch execution
+// — the visibility counterpart of the Stats.Errors counter, which records
+// every failure but says nothing about which model, version, or traces were
+// hit. Rate-limited to one line per errLogInterval via a CAS on the last
+// log time, so the hot path never takes a lock and a failing backend under
+// load cannot flood the log.
+func (b *Batcher) logBatchError(err error, reqs []*request) {
+	now := time.Now().UnixNano()
+	last := b.lastErrLog.Load()
+	if now-last < int64(errLogInterval) || !b.lastErrLog.CompareAndSwap(last, now) {
+		return
+	}
+	logger := b.logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	// Collect the trace ids of the traced rows so the log line correlates
+	// with /v1/trace/{id}; cap the list to keep the line bounded.
+	var traceIDs []string
+	for _, r := range reqs {
+		if !r.span.Active() {
+			continue
+		}
+		traceIDs = append(traceIDs, r.span.TraceID())
+		if len(traceIDs) >= 8 {
+			break
+		}
+	}
+	logger.Error("batch execution failed",
+		"model", b.model,
+		"version", reqs[0].opts.Version,
+		"batch_size", len(reqs),
+		"trace_ids", traceIDs,
+		"err", err)
 }

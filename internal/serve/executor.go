@@ -7,6 +7,7 @@ import (
 
 	"mobiledl/internal/mobile"
 	"mobiledl/internal/tensor"
+	"mobiledl/internal/trace"
 )
 
 // ExecutorConfig wires an executor to a model source and a simulated
@@ -60,7 +61,14 @@ func (e *Executor) Execute(ctx context.Context, batch *tensor.Matrix, opts Reque
 	if err != nil {
 		return nil, err
 	}
+	// Traced batches carry a BatchLog in ctx; the exec record wraps the
+	// backend call and parents whatever child records the backend emits.
+	bl := trace.LogFrom(ctx)
+	sp := bl.Begin("exec")
 	br, err := loaded.Backend.RunBatch(ctx, e.env, batch, opts)
+	bl.EndErr(sp, err,
+		trace.Num("model_version", float64(loaded.Version)),
+		trace.Num("rows", float64(batch.Rows())))
 	if err != nil {
 		return nil, err
 	}

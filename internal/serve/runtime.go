@@ -3,10 +3,12 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"mobiledl/internal/metrics"
 	"mobiledl/internal/mobile"
+	"mobiledl/internal/trace"
 )
 
 // RuntimeConfig wires one registered model into a serving runtime.
@@ -24,6 +26,13 @@ type RuntimeConfig struct {
 	Net      mobile.Network
 	Seed     int64
 	SleepNet bool
+	// Tracer, when set, samples predict calls into traces (nil disables
+	// tracing at near-zero cost). Requests arriving with a span already in
+	// ctx (the HTTP layer's traceparent path) are traced regardless.
+	Tracer *trace.Tracer
+	// Logger receives structured serving logs (batch failures); nil means
+	// slog.Default().
+	Logger *slog.Logger
 }
 
 // Runtime is the served form of one model: an executor fed by an adaptive
@@ -37,6 +46,7 @@ type Runtime struct {
 	stats    *collector
 	maxBatch int
 	sleepNet bool
+	tracer   *trace.Tracer
 }
 
 // NewRuntime builds and starts a runtime (its worker pool runs until Close).
@@ -64,6 +74,8 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
+	batcher.logger = cfg.Logger
+	batcher.model = cfg.Model
 	return &Runtime{
 		name:     cfg.Model,
 		reg:      cfg.Registry,
@@ -72,6 +84,7 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 		stats:    stats,
 		maxBatch: batcher.cfg.MaxBatch,
 		sleepNet: cfg.SleepNet,
+		tracer:   cfg.Tracer,
 	}, nil
 }
 
@@ -87,10 +100,29 @@ func (rt *Runtime) Predict(ctx context.Context, features []float64) (Result, err
 // the batcher and executor, recording end-to-end latency. The modeled
 // network time is added on top of the measured wall time unless the
 // executor already slept it.
+//
+// Tracing: a span already in ctx (the HTTP layer's per-request root) rides
+// into the batcher; otherwise the runtime's tracer head-samples and, on a
+// hit, this call owns a fresh trace. Either way all span writes happen on
+// this goroutine — the queue and batch spans are reconstructed here from the
+// result's timing fields after Submit returns, and the backend's BatchLog
+// records (written by the single executing worker, published via the result
+// channel) are materialized under the batch span.
 func (rt *Runtime) PredictWith(ctx context.Context, features []float64, opts RequestOptions) (Result, error) {
+	sp := trace.SpanFrom(ctx)
+	owned := false
+	if !sp.Active() && rt.tracer.Sample() {
+		sp = rt.tracer.Start("predict", trace.Str("model", rt.name))
+		owned = true
+	}
 	start := time.Now()
-	res, err := rt.batcher.Submit(ctx, features, opts)
+	res, err := rt.batcher.submit(ctx, features, opts, sp)
 	if err != nil {
+		if owned {
+			sp.EndErr(err)
+		} else if sp.Active() {
+			sp.Annotate(trace.Str("error", err.Error()))
+		}
 		return Result{}, err
 	}
 	totalMs := float64(time.Since(start).Microseconds()) / 1000
@@ -98,6 +130,18 @@ func (rt *Runtime) PredictWith(ctx context.Context, features []float64, opts Req
 		totalMs += res.SimNetMs
 	}
 	rt.stats.recordRequest(totalMs)
+	if sp.Active() {
+		qd := time.Duration(res.QueueMs * float64(time.Millisecond))
+		ed := time.Duration(res.ExecMs * float64(time.Millisecond))
+		sp.ChildAt("queue", start, qd)
+		batch := sp.ChildAt("batch", start.Add(qd), ed,
+			trace.Num("batch_size", float64(res.BatchSize)),
+			trace.Num("model_version", float64(res.ModelVersion)))
+		batch.AttachLog(res.blog)
+		if owned {
+			sp.End(trace.Num("sim_net_ms", res.SimNetMs))
+		}
+	}
 	return res, nil
 }
 

@@ -43,6 +43,7 @@ import (
 	"errors"
 
 	"mobiledl/internal/mobile"
+	"mobiledl/internal/trace"
 )
 
 // ErrServe reports invalid serving configurations or server-side faults.
@@ -93,4 +94,9 @@ type Result struct {
 	// SimNetMs is the modeled device<->cloud transfer latency for this row
 	// (zero for rows answered locally).
 	SimNetMs float64
+
+	// blog carries the batch's backend span records (shared, read-only) from
+	// the executing worker back to each traced submitter, which materializes
+	// them into its own trace. Nil for untraced batches.
+	blog *trace.BatchLog
 }

@@ -6,13 +6,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobiledl/internal/metrics"
+	"mobiledl/internal/trace"
+	"mobiledl/internal/version"
 )
 
 // ServerConfig tunes HTTP-level serving policy: the per-request compute
@@ -29,6 +35,14 @@ type ServerConfig struct {
 	MaxTimeout time.Duration
 	// RetryAfter is the hint sent with 429 responses (default 1s).
 	RetryAfter time.Duration
+	// Tracer, when set, traces predict requests: inbound W3C traceparent
+	// headers with the sampled flag always trace (joined to the caller's
+	// trace id), other requests are head-sampled at the tracer's rate.
+	// Finished traces are queryable at /v1/trace/recent and /v1/trace/{id}.
+	// Nil disables tracing at near-zero cost.
+	Tracer *trace.Tracer
+	// Logger receives structured request logs; nil means slog.Default().
+	Logger *slog.Logger
 }
 
 func (c *ServerConfig) fill() {
@@ -58,6 +72,11 @@ func (c *ServerConfig) fill() {
 type Server struct {
 	registry *Registry
 	cfg      ServerConfig
+	logger   *slog.Logger
+
+	// draining flips once at shutdown: /healthz turns 503 so load balancers
+	// stop routing here while in-flight batches finish.
+	draining atomic.Bool
 
 	mu       sync.RWMutex
 	runtimes map[string]*Runtime
@@ -73,7 +92,11 @@ func NewServer(reg *Registry) *Server {
 // NewServerWith wraps a registry under an explicit serving policy.
 func NewServerWith(reg *Registry, cfg ServerConfig) *Server {
 	cfg.fill()
-	return &Server{registry: reg, cfg: cfg, runtimes: make(map[string]*Runtime)}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Server{registry: reg, cfg: cfg, logger: logger, runtimes: make(map[string]*Runtime)}
 }
 
 // AddMetricsSource registers an extra producer for the /metrics payload —
@@ -92,10 +115,25 @@ func (s *Server) Add(rt *Runtime) {
 	s.mu.Unlock()
 }
 
-// Close closes every attached runtime (draining their in-flight batches),
-// then releases the registry's retained backends via Registry.Close — the
-// shutdown path for resource-holding Backend implementations.
+// StartDrain flips the server into draining: /healthz answers 503 so load
+// balancers and orchestrators stop routing new traffic here, while requests
+// already in flight keep being served. Call it on SIGTERM, wait out the
+// traffic tail, then Close.
+func (s *Server) StartDrain() {
+	if !s.draining.Swap(true) {
+		s.logger.Info("server draining", "reason", "StartDrain")
+	}
+}
+
+// Draining reports whether StartDrain (or Close) has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close marks the server draining, closes every attached runtime (draining
+// their in-flight batches), then releases the registry's retained backends
+// via Registry.Close — the shutdown path for resource-holding Backend
+// implementations.
 func (s *Server) Close() {
+	s.StartDrain()
 	s.mu.RLock()
 	for _, rt := range s.runtimes {
 		rt.Close()
@@ -117,11 +155,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/trace/", s.handleTrace)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz is the readiness probe: 200 {"status":"ok"} while serving,
+// 503 {"status":"draining"} once StartDrain/Close has run, so orchestrators
+// pull the instance out of rotation before in-flight work is cut off.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
 }
 
 // PredictRequest is the /v1/predict body.
@@ -198,6 +248,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Trace the request: an inbound traceparent with the sampled flag joins
+	// the caller's trace; otherwise the tracer head-samples. The root span id
+	// is echoed back in the response's traceparent header so clients can
+	// fetch the span tree from /v1/trace/{id}.
+	sp := s.rootSpan(r, req.Model, len(req.Features))
+	if sp.Active() {
+		w.Header().Set("traceparent", sp.Traceparent())
+	}
+
 	// Derive the request deadline: the client's timeout_ms if sent (capped),
 	// else the server's default budget. The context rides every row through
 	// the batcher, so an expired request is pruned instead of executed.
@@ -217,7 +276,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	// Fan the rows out so they coalesce with other clients' requests.
+	// Fan the rows out so they coalesce with other clients' requests. Under a
+	// trace, each row goroutine gets its own child span (span allocation in
+	// the shared slab is atomic; every goroutine writes only spans it
+	// created) so sub-batch splits stay attributable per row.
 	results := make([]Result, len(req.Features))
 	errs := make([]error, len(req.Features))
 	var wg sync.WaitGroup
@@ -225,7 +287,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, row []float64) {
 			defer wg.Done()
-			results[i], errs[i] = rt.PredictWith(ctx, row, req.Options)
+			rctx := ctx
+			if sp.Active() {
+				rsp := sp.Child("row", trace.Num("row", float64(i)))
+				defer func() { rsp.EndErr(errs[i]) }()
+				rctx = trace.WithSpan(ctx, rsp)
+			}
+			results[i], errs[i] = rt.PredictWith(rctx, row, req.Options)
 		}(i, row)
 	}
 	wg.Wait()
@@ -247,10 +315,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 				// computed.
 				status = http.StatusGatewayTimeout
 			}
+			sp.EndErr(err)
+			if status >= http.StatusInternalServerError || status == http.StatusGatewayTimeout {
+				s.logger.Error("predict failed",
+					"model", req.Model, "rows", len(req.Features),
+					"status", status, "trace_id", sp.TraceID(), "err", err)
+			}
 			httpError(w, status, err)
 			return
 		}
 	}
+	sp.End()
 
 	resp := PredictResponse{Model: req.Model, Rows: make([]RowResult, len(results))}
 	for i, res := range results {
@@ -267,6 +342,60 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, resp)
+}
+
+// rootSpan decides tracing for one predict request. An inbound sampled
+// traceparent always traces (joined to the caller's trace id, so the span
+// tree names the remote parent); without one the tracer head-samples.
+// Returns the zero Span (inactive, near-free) when the request is not
+// traced.
+func (s *Server) rootSpan(r *http.Request, model string, rows int) trace.Span {
+	t := s.cfg.Tracer
+	if t == nil {
+		return trace.Span{}
+	}
+	if id, parent, sampled, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		if !sampled {
+			return trace.Span{}
+		}
+		return t.StartRemote("http.predict", id, parent,
+			trace.Str("model", model), trace.Num("rows", float64(rows)))
+	}
+	if !t.Sample() {
+		return trace.Span{}
+	}
+	return t.Start("http.predict",
+		trace.Str("model", model), trace.Num("rows", float64(rows)))
+}
+
+// handleTrace serves the in-process trace store:
+//
+//	GET /v1/trace/recent -> retained trace summaries, newest first
+//	GET /v1/trace/{id}   -> one trace's full span tree
+//
+// Retention is tail-based (errors and the slowest traces are kept
+// preferentially), so a trace that was sampled may still age out.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	t := s.cfg.Tracer
+	if t == nil {
+		httpError(w, http.StatusNotFound, errors.New("tracing disabled (no tracer configured)"))
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	if id == "" || id == "recent" {
+		writeJSON(w, t.Recent())
+		return
+	}
+	td := t.Get(id)
+	if td == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("trace %q not retained", id))
+		return
+	}
+	writeJSON(w, td)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -315,6 +444,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	for _, src := range sources {
 		src(pw)
+	}
+	pw.Gauge("mobiledl_build_info",
+		"Build identity: constant 1, with the stamped version and Go toolchain in labels.", 1,
+		metrics.Label{Name: "version", Value: version.Version},
+		metrics.Label{Name: "goversion", Value: runtime.Version()})
+	if t := s.cfg.Tracer; t != nil {
+		ts := t.Stats()
+		pw.Counter("mobiledl_traces_started_total", "Traces started (head-sampled or joined via traceparent).", float64(ts.Started))
+		pw.Counter("mobiledl_traces_finished_total", "Traces finished and offered to the retention store.", float64(ts.Finished))
 	}
 	if err := pw.Flush(); err != nil {
 		httpError(w, http.StatusInternalServerError, err)

@@ -1,0 +1,37 @@
+package trace
+
+import "context"
+
+type spanKey struct{}
+type logKey struct{}
+
+// WithSpan returns a context carrying the span; inert spans leave the
+// context untouched (so the disabled path never allocates a context link).
+func WithSpan(ctx context.Context, s Span) context.Context {
+	if !s.Active() {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFrom extracts the context's span (the zero Span when absent).
+func SpanFrom(ctx context.Context) Span {
+	s, _ := ctx.Value(spanKey{}).(Span)
+	return s
+}
+
+// WithLog returns a context carrying a BatchLog for the executing backend to
+// record into; a nil log leaves the context untouched.
+func WithLog(ctx context.Context, l *BatchLog) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, logKey{}, l)
+}
+
+// LogFrom extracts the context's BatchLog (nil when absent — and nil is a
+// valid no-op receiver for every BatchLog method).
+func LogFrom(ctx context.Context) *BatchLog {
+	l, _ := ctx.Value(logKey{}).(*BatchLog)
+	return l
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanData is one finished span in a retained trace. Parent is the slab
+// index of the parent span (-1 for the root), so consumers can rebuild the
+// tree without ids.
+type SpanData struct {
+	ID     int    `json:"id"`
+	Parent int    `json:"parent"`
+	Name   string `json:"name"`
+	// OffsetMs is the span's start relative to the trace start.
+	OffsetMs   float64        `json:"offset_ms"`
+	DurationMs float64        `json:"duration_ms"`
+	Error      string         `json:"error,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceData is one finished, immutable trace.
+type TraceData struct {
+	TraceID string    `json:"trace_id"`
+	Name    string    `json:"name"`
+	Start   time.Time `json:"start"`
+	// DurationMs is the root span's duration.
+	DurationMs float64 `json:"duration_ms"`
+	// Error reports whether any span in the trace failed.
+	Error bool `json:"error"`
+	// RemoteParent is the upstream W3C parent span id when the trace
+	// continued an incoming traceparent.
+	RemoteParent string `json:"remote_parent,omitempty"`
+	// DroppedSpans counts spans lost to the per-trace slab cap.
+	DroppedSpans int        `json:"dropped_spans,omitempty"`
+	Spans        []SpanData `json:"spans"`
+}
+
+// TraceSummary is one line of the trace listing.
+type TraceSummary struct {
+	TraceID    string    `json:"trace_id"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+	Error      bool      `json:"error"`
+	Spans      int       `json:"spans"`
+}
+
+// store is the bounded retention set behind a Tracer: tail-based in that the
+// keep decision is made after the trace finishes, when its duration and
+// error status are known. Error traces ride their own ring, the slowest N
+// are kept in a min-set, and everything else survives only as long as the
+// recent ring does. One trace may be referenced by several sets; memory is
+// bounded by recent+slow+errors regardless of traffic.
+type store struct {
+	mu     sync.Mutex
+	recent []*TraceData // ring, nil until warm
+	rpos   int
+	errs   []*TraceData // ring of error traces
+	epos   int
+	slow   []*TraceData // unordered slowest-N set (linear min scan; N is small)
+}
+
+func newStore(recent, slow, errors int) *store {
+	return &store{
+		recent: make([]*TraceData, recent),
+		errs:   make([]*TraceData, errors),
+		slow:   make([]*TraceData, 0, slow),
+	}
+}
+
+// offer retains a finished trace under the tail-retention policy.
+func (st *store) offer(td *TraceData) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.recent[st.rpos] = td
+	st.rpos = (st.rpos + 1) % len(st.recent)
+	if td.Error {
+		st.errs[st.epos] = td
+		st.epos = (st.epos + 1) % len(st.errs)
+		return
+	}
+	if len(st.slow) < cap(st.slow) {
+		st.slow = append(st.slow, td)
+		return
+	}
+	if len(st.slow) == 0 {
+		return
+	}
+	min := 0
+	for i, s := range st.slow {
+		if s.DurationMs < st.slow[min].DurationMs {
+			min = i
+		}
+	}
+	if td.DurationMs > st.slow[min].DurationMs {
+		st.slow[min] = td
+	}
+}
+
+// get returns a retained trace by id, or nil.
+func (st *store) get(id string) *TraceData {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, set := range [][]*TraceData{st.recent, st.errs, st.slow} {
+		for _, td := range set {
+			if td != nil && td.TraceID == id {
+				return td
+			}
+		}
+	}
+	return nil
+}
+
+// list summarizes every retained trace, newest first, deduplicated across
+// the retention sets.
+func (st *store) list() []TraceSummary {
+	st.mu.Lock()
+	seen := make(map[*TraceData]bool)
+	var out []TraceSummary
+	for _, set := range [][]*TraceData{st.recent, st.errs, st.slow} {
+		for _, td := range set {
+			if td == nil || seen[td] {
+				continue
+			}
+			seen[td] = true
+			out = append(out, TraceSummary{
+				TraceID:    td.TraceID,
+				Name:       td.Name,
+				Start:      td.Start,
+				DurationMs: td.DurationMs,
+				Error:      td.Error,
+				Spans:      len(td.Spans),
+			})
+		}
+	}
+	st.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}

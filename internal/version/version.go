@@ -1,0 +1,11 @@
+// Package version carries the build identity stamped into the binary at
+// link time. The Makefile's build target passes
+//
+//	-ldflags "-X mobiledl/internal/version.Version=$(git describe ...)"
+//
+// so /metrics can export a mobiledl_build_info gauge identifying exactly
+// which build is serving.
+package version
+
+// Version is the stamped build version ("dev" for unstamped builds).
+var Version = "dev"
