@@ -5,7 +5,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X mobiledl/internal/version.Version=$(VERSION)"
 
-.PHONY: all build test race vet lint loadcheck tracecheck fmt docs-check cover bench serve-bench bench-json
+.PHONY: all build test race vet lint loadcheck tracecheck crashcheck fmt docs-check cover bench serve-bench bench-json
 
 all: build test vet
 
@@ -22,6 +22,7 @@ test:
 # consumers that pool scratch.
 race:
 	$(GO) test -race ./internal/serve/... ./internal/fedserve/... ./internal/metrics/... \
+		./internal/store/... ./cmd/mobiledlserve/... \
 		./internal/federated/... ./internal/privacy/... \
 		./internal/tensor/... ./internal/nn/... ./internal/split/...
 
@@ -53,6 +54,16 @@ tracecheck:
 	$(GO) test -race -run 'Trace|Healthz|BuildInfo|BatchErrorLogged' \
 		./internal/serve/... ./internal/fedserve/...
 	MOBILEDL_TRACECHECK=1 $(GO) test -run TestTraceOverhead -v .
+
+# Crash-safety drill: the WAL store's full suite (framing, torn-tail
+# recovery, fault injection, compaction crash ordering), the kill-recover
+# matrix against a real registry, coordinator checkpoint/resume, the
+# registry/server degradation seam, and the process-scope restart and
+# shutdown-ordering tests — all under the race detector.
+crashcheck:
+	$(GO) test -race ./internal/store/...
+	$(GO) test -race -run 'Crash|KillRecover|Failpoint|Torn|Degrad|Recover|Resume|Backup|Checkpoint|Restart|Shutdown' \
+		./internal/serve/... ./internal/fedserve/... ./cmd/mobiledlserve/...
 
 # Coverage summary: per-function table plus the total, written from a
 # throwaway profile (cover.out is gitignored by convention, not committed).

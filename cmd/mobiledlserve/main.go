@@ -16,8 +16,19 @@
 //	                  training provenance)
 //	GET  /v1/trace/recent  retained trace summaries (tail-based retention)
 //	GET  /v1/trace/{id}    one trace's span tree
+//	GET  /v1/backup   online store snapshot (with -data-dir; restorable)
 //	GET  /metrics     Prometheus text exposition (serving + training + build)
-//	GET  /healthz     readiness: 200 while serving, 503 while draining
+//	GET  /healthz     readiness: 200 while serving, 503 while draining;
+//	                  the "store" field reports ok|degraded|disabled
+//
+// With -data-dir the process is crash-safe: every published model version is
+// appended to a WAL-backed store (fsync per publish, periodic snapshot
+// compaction) and training round state is checkpointed between rounds. On
+// boot the store replays — truncating any torn tail a crash left — the
+// registry reinstalls recovered versions, and the federated coordinator
+// resumes from its last checkpoint instead of round 0. Store failures at
+// runtime degrade gracefully: publishes continue in RAM, /healthz reports
+// "store":"degraded", and the predict path never touches disk.
 //
 // Predict requests are traced at the -trace-sample rate (an inbound W3C
 // traceparent header with the sampled flag always traces and joins the
@@ -50,6 +61,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -68,6 +80,7 @@ import (
 	"mobiledl/internal/opt"
 	"mobiledl/internal/serve"
 	"mobiledl/internal/split"
+	"mobiledl/internal/store"
 	"mobiledl/internal/trace"
 	"mobiledl/internal/version"
 )
@@ -78,13 +91,31 @@ const (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:], stop); err != nil {
 		fmt.Fprintln(os.Stderr, "mobiledlserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// testEvent, when non-nil, observes process lifecycle milestones ("listen",
+// "drain", "http-shutdown", "coord-stop", "server-close", "store-close") —
+// the seam the full-process shutdown-ordering test hooks. Production never
+// sets it.
+var testEvent func(event, detail string)
+
+func emitEvent(event, detail string) {
+	if testEvent != nil {
+		testEvent(event, detail)
+	}
+}
+
+// runCtx is the whole process under a cancellable context: ctx cancellation
+// is the graceful-shutdown trigger (what a SIGINT/SIGTERM delivers in
+// production, what tests drive directly). restoreSignals, when non-nil, runs
+// once shutdown begins so a second signal kills immediately.
+func runCtx(ctx context.Context, args []string, restoreSignals func()) error {
 	fs := flag.NewFlagSet("mobiledlserve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "HTTP listen address")
 	maxBatch := fs.Int("batch", 32, "max coalesced batch size")
@@ -105,10 +136,17 @@ func run(args []string) error {
 	logLevel := fs.String("log-level", "info", "structured log level: debug|info|warn|error")
 	traceSample := fs.Float64("trace-sample", 0.1, "fraction of predict requests (and federated rounds) traced into /v1/trace (0 disables)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	dataDir := fs.String("data-dir", "", "durable model store directory: published versions and training checkpoints survive restarts (empty = in-RAM only)")
+	demoModels := fs.Bool("demo-models", true, "train and serve the demonstration models (mlp, mlp-compressed, cascade, forest) at startup")
+	showVersion := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	net, err := parseNetwork(*network)
+	if *showVersion {
+		fmt.Printf("mobiledlserve %s\n", version.Version)
+		return nil
+	}
+	netw, err := parseNetwork(*network)
 	if err != nil {
 		return err
 	}
@@ -122,21 +160,81 @@ func run(args []string) error {
 		tracer = trace.New(trace.Config{Sample: *traceSample})
 	}
 
-	fmt.Println("training demonstration models on synthetic data...")
 	reg := serve.NewRegistry()
-	if err := installModels(reg, *sparsity, *bits, *seed); err != nil {
-		return err
+
+	// The persistence layer opens (and recovers) before anything publishes,
+	// and closes after the registry: the store's defer is registered first so
+	// it runs last, giving the shutdown order drain -> batcher drain ->
+	// registry close -> store close.
+	var st *store.Store
+	if *dataDir != "" {
+		st, err = store.Open(store.Options{Dir: *dataDir, Tracer: tracer, Logger: logger})
+		if err != nil {
+			return fmt.Errorf("open model store: %w", err)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				logger.Error("store close failed", "err", err)
+			}
+			emitEvent("store-close", *dataDir)
+		}()
+		reg.SetStore(st)
+	}
+
+	// Register the federated model's factory before boot recovery so its
+	// persisted versions can be rebuilt; the demo models are retrained fresh
+	// each boot and recover nothing (their records are skipped).
+	var fedFactory federated.ModelFactory
+	if *train {
+		_, fedFactory, err = core.NewMLP(core.MLPSpec{In: inputDim, Hidden: []int{64, 32}, Classes: classes, Seed: *seed + 102})
+		if err != nil {
+			return err
+		}
+		err = reg.Register("fedmlp", func() (serve.Backend, error) {
+			m, err := fedFactory()
+			if err != nil {
+				return nil, err
+			}
+			return serve.NewDenseBackend(m)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if st != nil {
+		restored, skipped, err := reg.RecoverFrom(st)
+		if err != nil {
+			return fmt.Errorf("recover model store: %w", err)
+		}
+		if restored > 0 || skipped > 0 {
+			fmt.Printf("recovered %d model version(s) from %s (%d skipped: no registered factory)\n",
+				restored, *dataDir, skipped)
+		}
+	}
+
+	var served []string
+	if *demoModels {
+		fmt.Println("training demonstration models on synthetic data...")
+		if err := installModels(reg, *sparsity, *bits, *seed); err != nil {
+			return err
+		}
+		served = append(served, "mlp", "mlp-compressed", "cascade", "forest")
 	}
 
 	srv := serve.NewServerWith(reg, serve.ServerConfig{
 		DefaultTimeout: *budget, Tracer: tracer, Logger: logger,
 	})
-	defer srv.Close()
+	defer func() {
+		srv.Close()
+		emitEvent("server-close", "")
+	}()
+	if st != nil {
+		srv.AddMetricsSource(st.WriteMetrics)
+	}
 	batch := serve.BatcherConfig{
 		MaxBatch: *maxBatch, MaxDelay: *window, Workers: *workers,
 		QueueCap: *queueCap, MaxInflight: *inflight,
 	}
-	served := []string{"mlp", "mlp-compressed", "cascade", "forest"}
 
 	mux := http.NewServeMux()
 	if *pprofOn {
@@ -148,11 +246,18 @@ func run(args []string) error {
 		fmt.Println("pprof mounted at /debug/pprof/")
 	}
 	if *train {
-		coord, err := setupTraining(reg, *trainClients, *trainInterval, *seed, tracer, logger)
+		var ck fedserve.CheckpointStore
+		if st != nil {
+			ck = st
+		}
+		coord, err := setupTraining(reg, fedFactory, ck, *trainClients, *trainInterval, *seed, tracer, logger)
 		if err != nil {
 			return err
 		}
-		defer coord.Stop()
+		defer func() {
+			coord.Stop()
+			emitEvent("coord-stop", "")
+		}()
 		fedserve.NewControl(coord).Mount(mux)
 		srv.AddMetricsSource(coord.WriteMetrics)
 		served = append(served, "fedmlp")
@@ -162,7 +267,7 @@ func run(args []string) error {
 	for _, name := range served {
 		rt, err := serve.NewRuntime(serve.RuntimeConfig{
 			Registry: reg, Model: name, Batch: batch,
-			Net: net, Seed: *seed, SleepNet: *sleepNet,
+			Net: netw, Seed: *seed, SleepNet: *sleepNet,
 			Logger: logger,
 		})
 		if err != nil {
@@ -180,24 +285,27 @@ func run(args []string) error {
 		}
 		fmt.Println(line)
 	}
+	// A configured http.Server over an explicit listener: header and idle
+	// timeouts bound slow-loris and dead keep-alive connections, Shutdown
+	// gives ctx cancellation (SIGTERM/SIGINT in production) a graceful path —
+	// stop intake, let in-flight handlers finish, then (via the deferred
+	// closes above) drain the batchers, release the registry, and close the
+	// store — and listening before announcing lets :0 tests discover the
+	// bound port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("mobiledlserve %s listening on %s (batch<=%d, window %s, budget %s, network %s, trace-sample %g)\n",
-		version.Version, *addr, *maxBatch, *window, *budget, net.Kind, *traceSample)
-
-	// A configured http.Server instead of bare ListenAndServe: header and
-	// idle timeouts bound slow-loris and dead keep-alive connections, and
-	// Shutdown gives SIGTERM/SIGINT a graceful path — stop intake, let
-	// in-flight handlers finish, then (via the deferred closes above) drain
-	// the batchers and release the registry.
+		version.Version, ln.Addr(), *maxBatch, *window, *budget, netw.Kind, *traceSample)
+	emitEvent("listen", ln.Addr().String())
 	hsrv := &http.Server{
-		Addr:              *addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
-	go func() { errCh <- hsrv.ListenAndServe() }()
+	go func() { errCh <- hsrv.Serve(ln) }()
 	select {
 	case err := <-errCh:
 		return err
@@ -208,13 +316,17 @@ func run(args []string) error {
 	// window so load balancers actually observe the drain and stop routing
 	// here; only then stop intake and let in-flight handlers finish.
 	srv.StartDrain()
-	stop() // restore default signal disposition: a second signal kills now
+	emitEvent("drain", "")
+	if restoreSignals != nil {
+		restoreSignals() // restore default signal disposition: a second signal kills now
+	}
 	time.Sleep(*drainGrace)
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hsrv.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	emitEvent("http-shutdown", "")
 	return nil
 }
 
@@ -242,8 +354,9 @@ func buildLogger(level string) (*slog.Logger, error) {
 // as the other served models), the idle/charging/WiFi eligibility scheduler,
 // and publication into the shared registry as "fedmlp". The coordinator
 // publishes the untrained model immediately so the runtime can attach; the
-// round loop starts via POST /v1/train/start.
-func setupTraining(reg *serve.Registry, clients int, interval time.Duration, seed int64, tracer *trace.Tracer, logger *slog.Logger) (*fedserve.Coordinator, error) {
+// round loop starts via POST /v1/train/start. With a checkpoint store it
+// resumes from the last persisted round instead of round 0.
+func setupTraining(reg *serve.Registry, factory federated.ModelFactory, ck fedserve.CheckpointStore, clients int, interval time.Duration, seed int64, tracer *trace.Tracer, logger *slog.Logger) (*fedserve.Coordinator, error) {
 	fb, err := data.GenerateFedBench(data.FedBenchConfig{
 		Samples: 2000, Classes: classes, Dim: inputDim, Spread: 1.3, Seed: seed + 100,
 	})
@@ -259,10 +372,6 @@ func setupTraining(reg *serve.Registry, clients int, interval time.Duration, see
 	if err != nil {
 		return nil, err
 	}
-	_, factory, err := core.NewMLP(core.MLPSpec{In: inputDim, Hidden: []int{64, 32}, Classes: classes, Seed: seed + 102})
-	if err != nil {
-		return nil, err
-	}
 	sched, err := federated.NewScheduler(rng, clients, 0.9, 0.9, 0.9)
 	if err != nil {
 		return nil, err
@@ -274,7 +383,8 @@ func setupTraining(reg *serve.Registry, clients int, interval time.Duration, see
 		Seed: seed + 103, Scheduler: sched,
 		RoundInterval: interval,
 		Registry:      reg, Model: "fedmlp",
-		Tracer: tracer, Logger: logger,
+		Checkpoint: ck,
+		Tracer:     tracer, Logger: logger,
 	})
 }
 

@@ -1,37 +1,54 @@
-// Train-to-serve quickstart: the closed loop of internal/fedserve. A
-// federated coordinator trains an MLP over non-IID client shards —
-// device-eligibility scheduling, parallel client fan-out, eval-gated
-// acceptance — and hot-publishes every accepted round into a serving
-// registry, while a concurrent client keeps predict traffic flowing through
-// the runtime and measures the accuracy of the answers it gets back. The
-// served accuracy climbs across auto-published versions with zero restarts:
-// each request simply lands on whichever version is current at its batch
-// boundary.
+// Train-to-serve restart-resume quickstart: the closed loop of
+// internal/fedserve plus the crash-safe persistence of internal/store.
+//
+// The demo runs the same "process" twice over one data directory. Life 1
+// trains a federated MLP over non-IID client shards, hot-publishing every
+// accepted round into a serving registry whose publishes append to a
+// WAL-backed store, and checkpointing round state between rounds — then
+// stops, as a deploy or crash would. Life 2 boots from the same directory:
+// the store replays, the registry reinstalls the last durably-published
+// versions (serving resumes before any training), and the coordinator picks
+// up at the checkpointed round instead of round 0. A concurrent client
+// measures the accuracy of *served* answers in both lives; accuracy carries
+// across the restart instead of collapsing back to an untrained model.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
-	"sort"
-	"sync"
+	"os"
 	"time"
 
 	"mobiledl/internal/data"
 	"mobiledl/internal/fedserve"
 	"mobiledl/internal/nn"
 	"mobiledl/internal/serve"
+	"mobiledl/internal/store"
 )
 
+const modelName = "fedmlp"
+
 func main() {
-	if err := run(); err != nil {
+	dir := flag.String("data-dir", "", "persistent store directory (default: a fresh temp dir)")
+	flag.Parse()
+	if *dir == "" {
+		tmp, err := os.MkdirTemp("", "trainserve-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		*dir = tmp
+	}
+	if err := run(*dir); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	// 1. A synthetic mobile task, sharded pathologically non-IID across 8
+func run(dir string) error {
+	// A synthetic mobile task, sharded pathologically non-IID across 8
 	// simulated devices (most clients see only 1-2 of the 5 classes).
 	fb, err := data.GenerateFedBench(data.FedBenchConfig{
 		Samples: 1200, Classes: 5, Dim: 10, Spread: 1.1, Seed: 33,
@@ -54,104 +71,113 @@ func run() error {
 		), nil
 	}
 
-	// 2. The coordinator publishes the untrained model as version 1 at
-	// construction, so serving starts before training does.
-	reg := serve.NewRegistry()
-	coord, err := fedserve.NewCoordinator(fedserve.Config{
-		Factory: factory, Shards: shards, Classes: 5,
-		EvalX: teX, EvalY: teY,
-		Rounds: 12, LocalEpochs: 1, LocalBatch: 16, LocalLR: 0.05,
-		Seed:          34,
-		RoundInterval: 25 * time.Millisecond,
-		Registry:      reg, Model: "fedmlp",
-	})
-	if err != nil {
-		return err
-	}
+	// life boots "the process": open the store, recover the registry,
+	// build a resuming coordinator, serve while training `rounds` rounds,
+	// and measure the accuracy of live served answers. Everything a restart
+	// must reconstruct comes only from dir.
+	life := func(name string, rounds int) error {
+		st, err := store.Open(store.Options{Dir: dir})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		reg := serve.NewRegistry()
+		err = reg.Register(modelName, func() (serve.Backend, error) {
+			m, err := factory()
+			if err != nil {
+				return nil, err
+			}
+			return serve.NewDenseBackend(m)
+		})
+		if err != nil {
+			return err
+		}
+		reg.SetStore(st)
+		restored, _, err := reg.RecoverFrom(st)
+		if err != nil {
+			return err
+		}
+		if restored > 0 {
+			cur, err := reg.Get(modelName)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: recovered %d version(s) from %s; serving v%d (round %d) before any training\n",
+				name, restored, dir, cur.Version, cur.Meta.Round)
+		} else {
+			fmt.Printf("%s: empty data dir, fresh start\n", name)
+		}
 
-	rt, err := serve.NewRuntime(serve.RuntimeConfig{
-		Registry: reg, Model: "fedmlp",
-		Batch: serve.BatcherConfig{MaxBatch: 16, MaxDelay: 500 * time.Microsecond},
-	})
-	if err != nil {
-		return err
-	}
-	defer rt.Close()
+		coord, err := fedserve.NewCoordinator(fedserve.Config{
+			Factory: factory, Shards: shards, Classes: 5,
+			EvalX: teX, EvalY: teY,
+			Rounds: rounds, LocalEpochs: 1, LocalBatch: 16, LocalLR: 0.05,
+			Seed:          34,
+			RoundInterval: 10 * time.Millisecond,
+			Registry:      reg, Model: modelName,
+			Checkpoint: st,
+		})
+		if err != nil {
+			return err
+		}
+		defer coord.Stop()
 
-	// 3. A concurrent client scores the *served* answers per model version
-	// while rounds run: for each held-out row it asks the runtime and tallies
-	// whether the answer was right, bucketed by the version that answered.
-	type tally struct{ correct, total int }
-	var (
-		mu          sync.Mutex
-		byVer       = map[int]*tally{}
-		ctx, cancel = context.WithCancel(context.Background())
-	)
-	defer cancel()
-	var observer sync.WaitGroup
-	for c := 0; c < 4; c++ {
-		observer.Add(1)
-		go func(offset int) {
-			defer observer.Done()
-			for i := offset; ctx.Err() == nil; i = (i + 4) % teX.Rows() {
+		rt, err := serve.NewRuntime(serve.RuntimeConfig{
+			Registry: reg, Model: modelName,
+			Batch: serve.BatcherConfig{MaxBatch: 16, MaxDelay: 500 * time.Microsecond},
+		})
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+
+		// Live traffic while rounds run: tally the accuracy of the answers
+		// the runtime actually serves across this life.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		scored := make(chan [2]int, 1)
+		go func() {
+			var correct, total int
+			for i := 0; ctx.Err() == nil; i = (i + 1) % teX.Rows() {
 				res, err := rt.Predict(ctx, teX.Row(i))
 				if err != nil {
-					return
+					break
 				}
-				mu.Lock()
-				tl := byVer[res.ModelVersion]
-				if tl == nil {
-					tl = &tally{}
-					byVer[res.ModelVersion] = tl
-				}
-				tl.total++
+				total++
 				if res.Class == teY[i] {
-					tl.correct++
+					correct++
 				}
-				mu.Unlock()
 			}
-		}(c)
+			scored <- [2]int{correct, total}
+		}()
+
+		if err := coord.Start(); err != nil {
+			return err
+		}
+		coord.Wait()
+		cancel()
+		tl := <-scored
+
+		fin := coord.Status()
+		cur, err := reg.Get(modelName)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: rounds %d..%d trained, %d version(s) published, serving v%d, served accuracy %.3f (%d requests)\n\n",
+			name, fin.StartRound+1, fin.Round, len(fin.Published), cur.Version,
+			float64(tl[0])/float64(max(tl[1], 1)), tl[1])
+		return nil
 	}
 
-	// 4. Train. Every accepted round hot-swaps a new version under the
-	// observer's feet.
-	start := time.Now()
-	if err := coord.Start(); err != nil {
+	fmt.Printf("== life 1: fresh process ==\n")
+	if err := life("life 1", 6); err != nil {
 		return err
 	}
-	coord.Wait()
-	cancel()
-	observer.Wait()
-
-	// 5. Report: held-out accuracy at publish time vs accuracy the observer
-	// measured on live served predictions, per version.
-	st := coord.Status()
-	fmt.Printf("ran %d rounds in %v, published %d versions (%d updates merged)\n\n",
-		st.Round, time.Since(start).Round(time.Millisecond), len(st.Published), st.MergedUpdates)
-	fmt.Println("version  round  held-out acc   served acc (observed)")
-	versions := make([]int, 0, len(byVer))
-	for v := range byVer {
-		versions = append(versions, v)
+	fmt.Printf("== process stops (deploy, crash, reboot) ==\n\n== life 2: restart from %s ==\n", dir)
+	if err := life("life 2", 6); err != nil {
+		return err
 	}
-	sort.Ints(versions)
-	published := map[int]fedserve.PublishedVersion{}
-	for _, p := range st.Published {
-		published[p.Version] = p
-	}
-	for _, v := range versions {
-		tl := byVer[v]
-		line := fmt.Sprintf("v%-7d", v)
-		if p, ok := published[v]; ok {
-			line += fmt.Sprintf(" %-6d %-14.3f", p.Round, p.Accuracy)
-		} else {
-			line += fmt.Sprintf(" %-6s %-14s", "-", "-")
-		}
-		line += fmt.Sprintf(" %.3f  (%d requests)", float64(tl.correct)/float64(tl.total), tl.total)
-		fmt.Println(line)
-	}
-
-	first, last := st.Published[0], st.Published[len(st.Published)-1]
-	fmt.Printf("\nserved accuracy improved %.3f -> %.3f across %d hot swaps, no restarts\n",
-		first.Accuracy, last.Accuracy, len(st.Published)-1)
+	fmt.Println("the restart was a non-event: serving resumed from the last durable version,")
+	fmt.Println("and training continued from the checkpointed round instead of round 0")
 	return nil
 }

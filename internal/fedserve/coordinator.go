@@ -114,6 +114,15 @@ type Config struct {
 	// RoundInterval paces the loop between rounds (0 = run flat out).
 	RoundInterval time.Duration
 
+	// Checkpoint, if non-nil, persists round state (global weights, round
+	// counter, accumulated status, privacy spend) so a restarted coordinator
+	// resumes from the last checkpoint instead of round 0. Checkpoint
+	// failures degrade gracefully: training continues, the error is counted.
+	Checkpoint CheckpointStore
+	// CheckpointEvery sets the checkpoint cadence in rounds (default 1 =
+	// after every round that merged updates).
+	CheckpointEvery int
+
 	// Tracer, when set, samples coordinator rounds into long-lived traces
 	// (select -> client fan-out -> merge -> eval -> publish). Nil disables
 	// round tracing.
@@ -188,6 +197,12 @@ type Status struct {
 	// Epsilon is the cumulative user-level privacy spend (DP runs only).
 	Epsilon   float64            `json:"epsilon,omitempty"`
 	Published []PublishedVersion `json:"published"`
+	// StartRound is the checkpointed round this run resumed from (0 = fresh
+	// start); Checkpoints / CheckpointErrors count persisted round states and
+	// failed saves or loads across the run.
+	StartRound       int `json:"start_round,omitempty"`
+	Checkpoints      int `json:"checkpoints,omitempty"`
+	CheckpointErrors int `json:"checkpoint_errors,omitempty"`
 }
 
 // job is one dispatched client-training task.
@@ -266,7 +281,15 @@ type Coordinator struct {
 	busy            map[int]bool
 	inflight        int
 	mergedSinceEval int
+	mergedSinceCk   int
 	history         []federated.RoundStats
+
+	// startRound is the checkpointed round this run resumed from (0 fresh);
+	// lastRound bounds the run at startRound+Rounds (0 = unbounded). ckEvery
+	// is the checkpoint cadence in rounds.
+	startRound int
+	lastRound  int
+	ckEvery    int
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -352,14 +375,38 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if c.dpDenom < 1 {
 		c.dpDenom = 1
 	}
+	c.ckEvery = cfg.CheckpointEvery
+	if c.ckEvery <= 0 {
+		c.ckEvery = 1
+	}
 	c.status = Status{State: StateIdle, Model: cfg.Model, LastAccuracy: -1, BestAccuracy: -1}
 
-	// Publish the untrained (round-0) global so traffic has a version to hit.
+	resumed := false
+	if cfg.Checkpoint != nil {
+		resumed, err = c.resume()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Rounds > 0 {
+		c.lastRound = c.startRound + cfg.Rounds
+	}
+
+	// Publish the current global so traffic has a version to hit — the
+	// untrained round-0 model on a fresh start, the checkpointed weights on
+	// resume. When boot recovery already reinstalled the model from the
+	// publish log, the recovered version keeps serving and the republish is
+	// skipped (re-publishing identical weights would just burn a version).
+	if resumed {
+		if _, err := cfg.Registry.Get(cfg.Model); err == nil {
+			return c, nil
+		}
+	}
 	acc, err := c.eval(c.global)
 	if err != nil {
 		return nil, fmt.Errorf("fedserve: initial eval: %w", err)
 	}
-	if err := c.publish(0, acc); err != nil {
+	if err := c.publish(c.startRound, acc); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -491,7 +538,9 @@ func putDeltas(d done) {
 // run is the driver goroutine: the continuous round loop.
 func (c *Coordinator) run() {
 	defer c.shutdown()
-	for round := 1; c.cfg.Rounds == 0 || round <= c.cfg.Rounds; round++ {
+	// Rounds are absolute across restarts: a resumed run continues the
+	// checkpointed numbering and runs Config.Rounds more rounds from there.
+	for round := c.startRound + 1; c.lastRound == 0 || round <= c.lastRound; round++ {
 		if !c.awaitRunnable() {
 			return
 		}
@@ -593,9 +642,16 @@ func (c *Coordinator) runRound(round int) bool {
 	// Evaluate on the cadence, but only when training actually advanced:
 	// rounds with no eligible devices (or only dropped/failed updates) would
 	// otherwise republish an unchanged model every EvalEvery rounds.
-	if c.mergedSinceEval > 0 && (round%c.evalEvery == 0 || round == c.cfg.Rounds) {
+	if c.mergedSinceEval > 0 && (round%c.evalEvery == 0 || round == c.lastRound) {
 		c.mergedSinceEval = 0
 		c.evalAndMaybePublish(round, sp)
+	}
+
+	// Checkpoint on the cadence once training has advanced past the last
+	// durable state; a failed save leaves mergedSinceCk pending so the next
+	// round retries.
+	if c.cfg.Checkpoint != nil && c.mergedSinceCk > 0 && (round%c.ckEvery == 0 || round == c.lastRound) {
+		c.checkpoint(round, sp)
 	}
 	sp.End(trace.Num("collected", float64(len(collected))))
 	return dispatched > 0 || len(collected) > 0
@@ -714,6 +770,7 @@ func (c *Coordinator) merge(round int, collected []done) {
 	}
 
 	c.mergedSinceEval += len(merged)
+	c.mergedSinceCk += len(merged)
 
 	c.mu.Lock()
 	c.status.Round = round
@@ -911,6 +968,13 @@ func (c *Coordinator) shutdown() {
 		putDeltas(d)
 	}
 	c.workerWg.Wait()
+	// Final checkpoint so a clean Stop never loses merged-but-unsaved rounds.
+	if c.cfg.Checkpoint != nil && c.mergedSinceCk > 0 {
+		c.mu.Lock()
+		round := c.status.Round
+		c.mu.Unlock()
+		c.checkpoint(round, trace.Span{})
+	}
 	c.mu.Lock()
 	c.setStateLocked(StateStopped)
 	c.status.InFlight = 0

@@ -25,4 +25,9 @@ func (c *Coordinator) WriteMetrics(w *metrics.PromWriter) {
 	if st.Epsilon > 0 {
 		w.Gauge("mobiledl_train_epsilon", "Cumulative user-level privacy spend (DP runs).", st.Epsilon, ml)
 	}
+	if st.StartRound > 0 {
+		w.Gauge("mobiledl_train_start_round", "Checkpointed round this run resumed from (absent on fresh starts).", float64(st.StartRound), ml)
+	}
+	w.Counter("mobiledl_train_checkpoints_total", "Round-state checkpoints persisted.", float64(st.Checkpoints), ml)
+	w.Counter("mobiledl_train_checkpoint_errors_total", "Checkpoint saves or loads that failed (training continued).", float64(st.CheckpointErrors), ml)
 }

@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -85,11 +87,157 @@ type regEntry struct {
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*regEntry
+
+	// store, when set, durably records every Param-bearing publish. Append
+	// failures degrade (RAM-only publishes, StoreStatus "degraded") instead
+	// of failing the install — persistence is never allowed to take serving
+	// down with it.
+	store         Store
+	storeErrs     atomic.Uint64
+	storeDegraded atomic.Bool
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{entries: make(map[string]*regEntry)}
+}
+
+// SetStore attaches the persistence store. Call it before installs begin;
+// subsequent Param-bearing publishes are appended to the store, and
+// RecoverFrom replays it at boot. A nil store turns persistence off
+// (StoreStatus "disabled").
+func (r *Registry) SetStore(st Store) {
+	r.mu.Lock()
+	r.store = st
+	r.mu.Unlock()
+}
+
+// Store returns the attached persistence store (nil when persistence is
+// off) — the handle the HTTP layer streams /v1/backup from.
+func (r *Registry) Store() Store {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.store
+}
+
+// StoreStatus reports the persistence health surfaced on /healthz:
+// "disabled" (no store), "ok", or "degraded" (the last append failed;
+// serving continues from RAM).
+func (r *Registry) StoreStatus() string {
+	if r.Store() == nil {
+		return StoreDisabled
+	}
+	if r.storeDegraded.Load() {
+		return StoreDegraded
+	}
+	return StoreOK
+}
+
+// StoreErrors counts failed store appends over the registry's lifetime (the
+// mobiledl_store_errors_total counter).
+func (r *Registry) StoreErrors() uint64 { return r.storeErrs.Load() }
+
+// persist appends a publish record for an installed version. Failures
+// degrade rather than propagate: the version stays installed in RAM, the
+// error is counted, and the degraded flag flips until an append succeeds
+// again. Install-only backends without parameters (nothing to re-materialize
+// from) are skipped.
+func (r *Registry) persist(l *Loaded) {
+	st := r.Store()
+	if st == nil || len(l.Backend.Params()) == 0 {
+		return
+	}
+	blob, err := nn.EncodeWeights(l.Backend)
+	if err == nil {
+		err = st.AppendPublish(PublishRecord{
+			Model: l.Name, Version: l.Version, Kind: l.Info.Kind,
+			Meta: l.Meta, Weights: blob, At: l.LoadedAt,
+		})
+	}
+	if err != nil {
+		r.storeErrs.Add(1)
+		if !r.storeDegraded.Swap(true) {
+			slog.Warn("model store degraded: publishes continue in RAM",
+				"model", l.Name, "version", l.Version, "err", err)
+		}
+		return
+	}
+	if r.storeDegraded.Swap(false) {
+		slog.Info("model store recovered", "model", l.Name, "version", l.Version)
+	}
+}
+
+// RecoverFrom replays a store's publish records into the registry — the boot
+// path that makes a restart a non-event. Records are installed in (model,
+// ascending version) order, so each entry ends current at its last durably
+// published version with the version counter continuing past it. Only models
+// with a registered factory recover (architectures are code); records for
+// unregistered or Install-only names are skipped and counted. A record whose
+// weights no longer fit the factory's architecture aborts with an error
+// rather than serving a mismatched model.
+func (r *Registry) RecoverFrom(st Store) (restored, skipped int, err error) {
+	for _, rec := range st.Publishes() {
+		r.mu.RLock()
+		e, ok := r.entries[rec.Model]
+		r.mu.RUnlock()
+		if !ok || e.factory == nil {
+			skipped++
+			continue
+		}
+		b, berr := r.build(e)
+		if berr != nil {
+			return restored, skipped, fmt.Errorf("recover %q v%d: %w", rec.Model, rec.Version, berr)
+		}
+		if len(b.Params()) == 0 {
+			skipped++
+			continue
+		}
+		if lerr := nn.LoadWeights(bytes.NewReader(rec.Weights), b.Params()); lerr != nil {
+			return restored, skipped, fmt.Errorf("recover %q v%d: %w", rec.Model, rec.Version, lerr)
+		}
+		if ierr := r.installRecovered(e, rec, b); ierr != nil {
+			return restored, skipped, ierr
+		}
+		restored++
+	}
+	return restored, skipped, nil
+}
+
+// installRecovered re-installs one replayed version under its recorded
+// version number (no store append — the record is already durable). The
+// entry's version counter advances to at least the recovered version so
+// post-recovery installs keep numbering monotonically.
+func (r *Registry) installRecovered(e *regEntry, rec PublishRecord, b Backend) error {
+	info := b.Describe()
+	if info.InputDim <= 0 || info.Classes <= 0 {
+		return fmt.Errorf("%w: recovered backend for %q describes %d inputs, %d classes",
+			ErrServe, rec.Model, info.InputDim, info.Classes)
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if cur := e.cur.Load(); cur != nil && cur.Version >= rec.Version {
+		// An already-installed newer (or equal) version wins; the stale
+		// record still lands in history below if there is room.
+		if cur.Info.InputDim != info.InputDim || cur.Info.Classes != info.Classes {
+			return fmt.Errorf("%w: recovered %q v%d changes interface %d->%d inputs, %d->%d classes",
+				ErrServe, rec.Model, rec.Version, cur.Info.InputDim, info.InputDim, cur.Info.Classes, info.Classes)
+		}
+	}
+	if rec.Version > e.version {
+		e.version = rec.Version
+	}
+	l := &Loaded{
+		Name: rec.Model, Version: rec.Version, Backend: b, Info: info,
+		Meta: rec.Meta, LoadedAt: rec.At,
+	}
+	e.histMu.Lock()
+	e.history[rec.Version] = l
+	delete(e.history, rec.Version-versionHistory)
+	e.histMu.Unlock()
+	if cur := e.cur.Load(); cur == nil || rec.Version > cur.Version {
+		e.cur.Store(l)
+	}
+	return nil
 }
 
 // Register declares a model name and its architecture factory. Registering
@@ -353,5 +501,10 @@ func (r *Registry) install(e *regEntry, name string, b Backend, sizes *compress.
 	delete(e.history, e.version-versionHistory)
 	e.histMu.Unlock()
 	e.cur.Store(l)
+	// Persist after the in-RAM swap, still under writeMu so the store sees
+	// each model's versions in order. A store failure degrades (counted,
+	// surfaced on /healthz) but never unwinds the install: serving hot swaps
+	// must keep working when the disk does not.
+	r.persist(l)
 	return e.version, nil
 }

@@ -60,7 +60,8 @@ func (c *ServerConfig) fill() {
 //	GET  /v1/stats                                          -> per-model Stats
 //	GET  /v1/models                                         -> registry listing
 //	GET  /metrics                                           -> Prometheus text
-//	GET  /healthz                                           -> "ok"
+//	GET  /healthz                                           -> readiness + store health
+//	GET  /v1/backup                                         -> online store snapshot
 //
 // Rows of one predict call are submitted to the batcher individually, so
 // concurrent clients coalesce into shared tensor batches. The optional
@@ -156,6 +157,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/trace/", s.handleTrace)
+	mux.HandleFunc("/v1/backup", s.handleBackup)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -163,15 +165,43 @@ func (s *Server) Handler() http.Handler {
 
 // handleHealthz is the readiness probe: 200 {"status":"ok"} while serving,
 // 503 {"status":"draining"} once StartDrain/Close has run, so orchestrators
-// pull the instance out of rotation before in-flight work is cut off.
+// pull the instance out of rotation before in-flight work is cut off. The
+// "store" field distinguishes degraded persistence ("degraded": publishes
+// are RAM-only until the disk recovers) from healthy serving — a degraded
+// store alone never turns readiness off.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	body := map[string]string{"status": "ok", "store": s.registry.StoreStatus()}
 	if s.draining.Load() {
+		body["status"] = "draining"
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		_ = json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		_ = json.NewEncoder(w).Encode(body)
 		return
 	}
-	writeJSON(w, map[string]string{"status": "ok"})
+	writeJSON(w, body)
+}
+
+// handleBackup streams an online snapshot of the model store — a valid
+// snapshot file a fresh data dir can boot from (see the README restore
+// runbook). 404 when no store is configured. Backups stay available while
+// draining: shutdown is exactly when an operator wants one.
+func (s *Server) handleBackup(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	st := s.registry.Store()
+	if st == nil {
+		httpError(w, http.StatusNotFound, errors.New("no model store configured (run with -data-dir)"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="mobiledl-snapshot.bin"`)
+	n, err := st.Backup(w)
+	if err != nil {
+		// Headers (and possibly bytes) are gone; log instead of a half 500.
+		s.logger.Error("backup stream failed", "bytes", n, "err", err)
+	}
 }
 
 // PredictRequest is the /v1/predict body.
@@ -453,6 +483,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ts := t.Stats()
 		pw.Counter("mobiledl_traces_started_total", "Traces started (head-sampled or joined via traceparent).", float64(ts.Started))
 		pw.Counter("mobiledl_traces_finished_total", "Traces finished and offered to the retention store.", float64(ts.Finished))
+	}
+	if s.registry.Store() != nil {
+		pw.Counter("mobiledl_store_errors_total",
+			"Failed model-store appends; the publish stayed in RAM and serving continued.",
+			float64(s.registry.StoreErrors()))
+		degraded := 0.0
+		if s.registry.StoreStatus() == StoreDegraded {
+			degraded = 1
+		}
+		pw.Gauge("mobiledl_store_degraded",
+			"1 while the model store's last append failed (publishes are RAM-only), 0 when healthy.",
+			degraded)
 	}
 	if err := pw.Flush(); err != nil {
 		httpError(w, http.StatusInternalServerError, err)

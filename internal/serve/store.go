@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"io"
+	"time"
+)
+
+// PublishRecord is the durable form of one published model version: the
+// registry writes one per Param-bearing install, and replays them at boot to
+// recover the version history a crash would otherwise erase. Weights is the
+// nn.EncodeWeights blob; the architecture itself is code (the model's
+// registered Factory), so a record from a mismatched architecture fails
+// loudly at recovery instead of serving garbage.
+type PublishRecord struct {
+	Model   string
+	Version int
+	// Kind is the backend family ("dense", "cascade", ...), recorded for
+	// operator inspection; recovery rebuilds from the factory regardless.
+	Kind string
+	// Meta is the training provenance the install carried, if any.
+	Meta *VersionMeta
+	// Weights is the nn.EncodeWeights blob of the installed backend.
+	Weights []byte
+	At      time.Time
+}
+
+// Store is the persistence seam the registry writes through. The registry is
+// storage-agnostic: anything that can durably append a publish record, replay
+// the retained records at boot, and stream an online backup satisfies it
+// (internal/store ships the WAL-backed implementation).
+//
+// Store failures never propagate into serving: a failed append leaves the
+// version installed in RAM, flips the registry's StoreStatus to "degraded",
+// and counts in StoreErrors — the predict path never touches the store at
+// all.
+type Store interface {
+	// AppendPublish durably records one published version. It must only
+	// return nil once the record would survive a crash.
+	AppendPublish(rec PublishRecord) error
+	// Publishes returns the retained records, ordered by model then ascending
+	// version — the replay stream Registry.RecoverFrom installs.
+	Publishes() []PublishRecord
+	// Backup streams a consistent snapshot of the store to w (the online
+	// GET /v1/backup payload), returning the bytes written. It must not
+	// block appends for longer than the stream takes.
+	Backup(w io.Writer) (int64, error)
+}
+
+// Store states reported by Registry.StoreStatus and the /healthz "store"
+// field.
+const (
+	// StoreDisabled: no store configured; persistence is off by choice.
+	StoreDisabled = "disabled"
+	// StoreOK: the last append succeeded (or none was attempted yet).
+	StoreOK = "ok"
+	// StoreDegraded: the most recent append failed; serving continues from
+	// RAM and publishes keep being attempted (a later success clears this).
+	StoreDegraded = "degraded"
+)

@@ -1,0 +1,18 @@
+// Package store is the crash-safe persistence layer for the serving stack:
+// an append-only, CRC-32-framed, fsync'd write-ahead log plus periodically
+// compacted snapshots in one data directory, zero dependencies beyond the
+// standard library.
+//
+// Two record classes share the log. Publishes mirror the serving registry's
+// model versions (bounded history per model, ascending replay order) and
+// drive boot recovery via serve.Registry.RecoverFrom; checkpoints are
+// latest-wins blobs under a key and carry the fedserve coordinator's round
+// state across restarts.
+//
+// The durability contract is "durable iff the append returned nil": failed
+// writes and fsyncs are undone by truncating the WAL back to the previous
+// record boundary, torn writes that cannot be undone brick further appends
+// (ErrBroken) instead of writing frames beyond damage, and boot replay
+// truncates the torn tail a real crash leaves. Failpoints injects each of
+// those faults deterministically for the kill-recover test suite.
+package store
