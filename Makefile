@@ -5,7 +5,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X mobiledl/internal/version.Version=$(VERSION)"
 
-.PHONY: all build test race vet lint loadcheck tracecheck crashcheck fmt docs-check cover bench serve-bench bench-json
+.PHONY: all build test race vet lint loadcheck tracecheck crashcheck cluster-up cluster-check fmt docs-check cover bench serve-bench bench-json
 
 all: build test vet
 
@@ -22,7 +22,7 @@ test:
 # consumers that pool scratch.
 race:
 	$(GO) test -race ./internal/serve/... ./internal/fedserve/... ./internal/metrics/... \
-		./internal/store/... ./cmd/mobiledlserve/... \
+		./internal/store/... ./internal/cluster/... ./cmd/mobiledlserve/... \
 		./internal/federated/... ./internal/privacy/... \
 		./internal/tensor/... ./internal/nn/... ./internal/split/...
 
@@ -64,6 +64,21 @@ crashcheck:
 	$(GO) test -race ./internal/store/...
 	$(GO) test -race -run 'Crash|KillRecover|Failpoint|Torn|Degrad|Recover|Resume|Backup|Checkpoint|Restart|Shutdown' \
 		./internal/serve/... ./internal/fedserve/... ./cmd/mobiledlserve/...
+
+# Boot a local 3-node cluster (consistent-hash sharded demo models, gossip
+# membership, transparent forwarding) and leave it running for interactive
+# poking; Ctrl-C tears it down.
+cluster-up:
+	$(GO) build $(LDFLAGS) -o mobiledlserve ./cmd/mobiledlserve
+	$(GO) run ./cmd/clustercheck -bin ./mobiledlserve -mode up
+
+# Cluster acceptance drill: solo-baseline vs 3-node aggregate throughput
+# (>= 2x required), SIGKILL one node mid-load with every model staying
+# servable through the survivors, and no mixed model versions anywhere.
+# The committed CLUSTERBENCH_*.md files are this target's output.
+cluster-check:
+	$(GO) build $(LDFLAGS) -o mobiledlserve ./cmd/mobiledlserve
+	$(GO) run ./cmd/clustercheck -bin ./mobiledlserve -mode check
 
 # Coverage summary: per-function table plus the total, written from a
 # throwaway profile (cover.out is gitignored by convention, not committed).

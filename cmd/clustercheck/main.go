@@ -1,0 +1,513 @@
+// Command clustercheck drives mobiledlserve's multi-node serving mode as an
+// acceptance harness, exercised two ways:
+//
+//	clustercheck -bin ./mobiledlserve -mode check
+//	    Measures a capacity-gated solo baseline, then boots a 3-node cluster
+//	    sharding three demo models at replication factor 2, asserts the
+//	    aggregate /v1/predict throughput is at least 2x the single node,
+//	    SIGKILLs one node mid-load, and asserts every model stays servable
+//	    through the survivors with consistent model versions. Exits non-zero
+//	    on any violated invariant. 429s are counted as backpressure (the
+//	    capacity gate doing its job), never as failures.
+//
+//	clustercheck -bin ./mobiledlserve -mode up
+//	    Boots the same 3-node topology on local ports and leaves it running
+//	    for interactive poking until interrupted.
+//
+// Per-node capacity is modeled with mobiledlserve's -node-rps token bucket,
+// so the 2x scaling claim is about admission capacity — what a cluster of
+// fixed-size nodes can serve — and holds even when all three processes share
+// one machine (as in CI).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+const featureDim = 64
+
+type node struct {
+	id   string
+	addr string
+	cmd  *exec.Cmd
+}
+
+// reservePorts grabs n distinct loopback ports by binding and releasing
+// them, so peer flags can reference addresses before the processes exist.
+func reservePorts(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			_ = ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}
+
+func startNode(bin, id, addr, models string, peers []string, rps float64) (*node, error) {
+	args := []string{
+		"-addr", addr,
+		"-node-id", id,
+		"-serve-models", models,
+		"-node-rps", fmt.Sprintf("%g", rps),
+		"-gossip-interval", "100ms",
+		"-trace-sample", "0",
+		"-log-level", "error",
+	}
+	if models == "" {
+		args = append(args, "-demo-models=false")
+	}
+	if len(peers) > 0 {
+		args = append(args, "-peers", strings.Join(peers, ","))
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", id, err)
+	}
+	n := &node{id: id, addr: addr, cmd: cmd}
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return n, nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	n.kill()
+	return nil, fmt.Errorf("node %s never became healthy on %s", id, addr)
+}
+
+func (n *node) kill() {
+	if n == nil || n.cmd == nil || n.cmd.Process == nil {
+		return
+	}
+	_ = n.cmd.Process.Kill() // SIGKILL: the crash case, not a graceful drain
+	_, _ = n.cmd.Process.Wait()
+}
+
+func (n *node) terminate() {
+	if n == nil || n.cmd == nil || n.cmd.Process == nil {
+		return
+	}
+	_ = n.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { _, _ = n.cmd.Process.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		_ = n.cmd.Process.Kill()
+	}
+}
+
+// waitConverged polls /v1/cluster/state on every node until each sees the
+// full membership with status ok and a route for every model.
+func waitConverged(nodes []*node, models []string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		converged := true
+		for _, n := range nodes {
+			var st struct {
+				Status  string              `json:"status"`
+				Members []json.RawMessage   `json:"members"`
+				Routes  map[string][]string `json:"routes"`
+			}
+			resp, err := http.Get("http://" + n.addr + "/v1/cluster/state")
+			if err != nil {
+				converged = false
+				break
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil || st.Status != "ok" || len(st.Members) != len(nodes) {
+				converged = false
+				break
+			}
+			for _, m := range models {
+				if len(st.Routes[m]) == 0 {
+					converged = false
+					break
+				}
+			}
+			if !converged {
+				break
+			}
+		}
+		if converged {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster did not converge within %s", timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// loadStats aggregates one load phase. Versions maps model -> set of
+// model_version values observed in 200 responses — the wrong-version check.
+type loadStats struct {
+	mu       sync.Mutex
+	OK       int
+	Shed     int
+	Fail     int
+	Elapsed  time.Duration
+	Versions map[string]map[int]int
+	FailMsgs map[string]int
+}
+
+func (s *loadStats) rate() float64 { return float64(s.OK) / s.Elapsed.Seconds() }
+
+func (s *loadStats) record(model string, status int, version int, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case status == http.StatusOK:
+		s.OK++
+		if s.Versions[model] == nil {
+			s.Versions[model] = make(map[int]int)
+		}
+		s.Versions[model][version]++
+	case status == http.StatusTooManyRequests:
+		s.Shed++ // backpressure, not failure
+	default:
+		s.Fail++
+		if errMsg != "" && len(s.FailMsgs) < 8 {
+			s.FailMsgs[fmt.Sprintf("%d: %s", status, errMsg)]++
+		}
+	}
+}
+
+func predictBody(model string) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `{"model":%q,"features":[[`, model)
+	for i := 0; i < featureDim; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("0.1")
+	}
+	b.WriteString("]]}")
+	return b.Bytes()
+}
+
+// runLoad sprays single-row predicts for d, round-robining workers over
+// (entry address x model), and returns the aggregate stats. midLoad, when
+// non-nil, runs once at roughly d/3 — the kill-one-node hook.
+func runLoad(addrs, models []string, workers int, d time.Duration, midLoad func()) *loadStats {
+	stats := &loadStats{Versions: make(map[string]map[int]int), FailMsgs: make(map[string]int)}
+	bodies := make(map[string][]byte, len(models))
+	for _, m := range models {
+		bodies[m] = predictBody(m)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	start := time.Now()
+	var once sync.Once
+	if midLoad != nil {
+		go func() {
+			select {
+			case <-time.After(d / 3):
+				once.Do(midLoad)
+			case <-ctx.Done():
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ctx.Err() == nil; i++ {
+				model := models[(w+i)%len(models)]
+				addr := addrs[(w+i)%len(addrs)]
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					"http://"+addr+"/v1/predict", bytes.NewReader(bodies[model]))
+				if err != nil {
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					if ctx.Err() == nil {
+						stats.record(model, 0, 0, err.Error())
+					}
+					time.Sleep(5 * time.Millisecond)
+					continue
+				}
+				var out struct {
+					Rows []struct {
+						ModelVersion int `json:"model_version"`
+					} `json:"rows"`
+					Error string `json:"error"`
+				}
+				_ = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				version := 0
+				if len(out.Rows) > 0 {
+					version = out.Rows[0].ModelVersion
+				}
+				stats.record(model, resp.StatusCode, version, out.Error)
+				// Pace slightly so the loopback client does not monopolize the
+				// CPU the servers need; demand still far exceeds capacity.
+				time.Sleep(time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats.Elapsed = time.Since(start)
+	return stats
+}
+
+func describeVersions(v map[string]map[int]int) string {
+	models := make([]string, 0, len(v))
+	for m := range v {
+		models = append(models, m)
+	}
+	sort.Strings(models)
+	parts := make([]string, 0, len(models))
+	for _, m := range models {
+		vers := make([]string, 0, len(v[m]))
+		for ver, cnt := range v[m] {
+			vers = append(vers, fmt.Sprintf("v%d x%d", ver, cnt))
+		}
+		sort.Strings(vers)
+		parts = append(parts, fmt.Sprintf("%s{%s}", m, strings.Join(vers, ", ")))
+	}
+	return strings.Join(parts, "  ")
+}
+
+// singleVersionPerModel is the no-wrong-version invariant: every 200 for a
+// model reported the same model_version no matter which node answered.
+func singleVersionPerModel(v map[string]map[int]int) error {
+	for m, vers := range v {
+		if len(vers) > 1 {
+			return fmt.Errorf("model %s served mixed versions: %v", m, vers)
+		}
+	}
+	return nil
+}
+
+func checkServable(addrs, models []string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, addr := range addrs {
+		for _, m := range models {
+			var lastErr error
+			served := false
+			// The survivor may still be timing out the dead peer; allow a few
+			// retries across the suspicion window.
+			for attempt := 0; attempt < 20 && !served; attempt++ {
+				resp, err := client.Post("http://"+addr+"/v1/predict", "application/json",
+					bytes.NewReader(predictBody(m)))
+				if err != nil {
+					lastErr = err
+				} else {
+					code := resp.StatusCode
+					resp.Body.Close()
+					if code == http.StatusOK {
+						served = true
+						break
+					}
+					lastErr = fmt.Errorf("status %d", code)
+				}
+				time.Sleep(250 * time.Millisecond)
+			}
+			if !served {
+				return fmt.Errorf("model %s not servable via %s after node kill: %v", m, addr, lastErr)
+			}
+		}
+	}
+	return nil
+}
+
+// topology is the fixed 3-node shard map: every model on exactly two nodes,
+// so any single node failure leaves every model servable.
+var topology = []struct{ id, models string }{
+	{"n1", "mlp,cascade"},
+	{"n2", "cascade,forest"},
+	{"n3", "forest,mlp"},
+}
+
+var clusterModels = []string{"mlp", "cascade", "forest"}
+
+func bootCluster(bin string, rps float64) ([]*node, error) {
+	addrs, err := reservePorts(len(topology))
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]*node, 0, len(topology))
+	for i, spec := range topology {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		n, err := startNode(bin, spec.id, addrs[i], spec.models, peers, rps)
+		if err != nil {
+			for _, booted := range nodes {
+				booted.kill()
+			}
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes, nil
+}
+
+func runCheck(bin string, rps float64, workers int, d time.Duration) error {
+	fmt.Printf("## clustercheck (node capacity %g rps, %d workers, %s per phase)\n\n", rps, workers, d)
+
+	// Phase 1: solo baseline — one node holding all three models.
+	soloAddrs, err := reservePorts(1)
+	if err != nil {
+		return err
+	}
+	solo, err := startNode(bin, "solo", soloAddrs[0], strings.Join(clusterModels, ","), nil, rps)
+	if err != nil {
+		return err
+	}
+	baseline := runLoad([]string{solo.addr}, clusterModels, workers, d, nil)
+	solo.terminate()
+	fmt.Printf("solo baseline:      %7.1f ok/s  (%d ok, %d shed, %d failed)  versions: %s\n",
+		baseline.rate(), baseline.OK, baseline.Shed, baseline.Fail, describeVersions(baseline.Versions))
+	if baseline.Fail > 0 {
+		return fmt.Errorf("solo phase had %d hard failures: %v", baseline.Fail, baseline.FailMsgs)
+	}
+	if err := singleVersionPerModel(baseline.Versions); err != nil {
+		return err
+	}
+
+	// Phase 2: 3-node cluster, same per-node capacity, models sharded at
+	// replication factor 2.
+	nodes, err := bootCluster(bin, rps)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.kill()
+		}
+	}()
+	if err := waitConverged(nodes, clusterModels, 30*time.Second); err != nil {
+		return err
+	}
+	entries := make([]string, len(nodes))
+	for i, n := range nodes {
+		entries[i] = n.addr
+	}
+	cluster := runLoad(entries, clusterModels, workers, d, nil)
+	fmt.Printf("3-node cluster:     %7.1f ok/s  (%d ok, %d shed, %d failed)  versions: %s\n",
+		cluster.rate(), cluster.OK, cluster.Shed, cluster.Fail, describeVersions(cluster.Versions))
+	if cluster.Fail > 0 {
+		return fmt.Errorf("cluster phase had %d hard failures: %v", cluster.Fail, cluster.FailMsgs)
+	}
+	if err := singleVersionPerModel(cluster.Versions); err != nil {
+		return err
+	}
+	ratio := cluster.rate() / baseline.rate()
+	fmt.Printf("scaling:            %7.2fx aggregate throughput vs solo (requirement: >= 2x)\n\n", ratio)
+	if ratio < 2 {
+		return fmt.Errorf("3-node throughput only %.2fx the solo baseline, want >= 2x", ratio)
+	}
+
+	// Phase 3: SIGKILL one node mid-load; every model must remain servable
+	// through the survivors (each has a replica), versions stay consistent.
+	victim := nodes[1] // holds cascade+forest; both survive on n1/n3
+	survivors := []string{nodes[0].addr, nodes[2].addr}
+	killed := false
+	chaos := runLoad(entries, clusterModels, workers, d, func() {
+		fmt.Printf("killing %s (SIGKILL) mid-load...\n", victim.id)
+		victim.kill()
+		killed = true
+	})
+	if !killed {
+		return fmt.Errorf("kill hook never fired")
+	}
+	if err := checkServable(survivors, clusterModels); err != nil {
+		return err
+	}
+	if err := singleVersionPerModel(chaos.Versions); err != nil {
+		return err
+	}
+	fmt.Printf("kill-one-node:      %7.1f ok/s during chaos (%d ok, %d shed, %d transient errors)  versions: %s\n",
+		chaos.rate(), chaos.OK, chaos.Shed, chaos.Fail, describeVersions(chaos.Versions))
+	fmt.Printf("post-kill:          every model servable via both survivors (replication factor 2)\n")
+	fmt.Printf("\nPASS: >= 2x scaling, failover keeps all models servable, no mixed versions\n")
+	return nil
+}
+
+func runUp(bin string, rps float64) error {
+	nodes, err := bootCluster(bin, rps)
+	if err != nil {
+		return err
+	}
+	if err := waitConverged(nodes, clusterModels, 30*time.Second); err != nil {
+		for _, n := range nodes {
+			n.kill()
+		}
+		return err
+	}
+	fmt.Println("cluster up:")
+	for i, n := range nodes {
+		fmt.Printf("  %s  http://%s  (%s)\n", n.id, n.addr, topology[i].models)
+	}
+	fmt.Println("predict against any node; Ctrl-C to tear down")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	for _, n := range nodes {
+		n.terminate()
+	}
+	return nil
+}
+
+func main() {
+	bin := flag.String("bin", "./mobiledlserve", "path to the mobiledlserve binary")
+	mode := flag.String("mode", "check", `"check" runs the acceptance suite, "up" leaves a 3-node cluster running`)
+	rps := flag.Float64("rps", 150, "per-node admission capacity (-node-rps) for every node")
+	workers := flag.Int("workers", 8, "concurrent load workers")
+	duration := flag.Duration("duration", 6*time.Second, "length of each load phase")
+	flag.Parse()
+
+	var err error
+	switch *mode {
+	case "check":
+		err = runCheck(*bin, *rps, *workers, *duration)
+	case "up":
+		err = runUp(*bin, *rps)
+	default:
+		err = fmt.Errorf("unknown -mode %q", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clustercheck:", err)
+		os.Exit(1)
+	}
+}

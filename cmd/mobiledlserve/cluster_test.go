@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// clusterState mirrors the /v1/cluster/state payload shape this test needs.
+type clusterState struct {
+	NodeID  string `json:"node_id"`
+	Status  string `json:"status"`
+	Members []struct {
+		ID    string `json:"id"`
+		Alive bool   `json:"alive"`
+	} `json:"members"`
+	Routes map[string][]string `json:"routes"`
+}
+
+func postPredict(t *testing.T, p *proc, model string) *http.Response {
+	t.Helper()
+	body := fmt.Sprintf(`{"model":%q,"features":[%s]}`, model, sampleFeatures())
+	resp, err := http.Post(p.url("/v1/predict"), "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("predict %s: %v", model, err)
+	}
+	return resp
+}
+
+// TestClusterThreeNodeEndToEnd boots three full mobiledlserve instances —
+// two model holders and one model-less router — through the production
+// wiring, waits for gossip convergence, and asserts transparent forwarding:
+// a predict against the router lands on the owner and comes back with the
+// owner's node header. Then it kills one holder and checks the cluster
+// degrades honestly: the survivor's models keep serving, the dead node's
+// model 404s, and status stays ok for the remaining pair.
+func TestClusterThreeNodeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots three instances and trains demo models")
+	}
+	n1 := startServer(t, "-demo-models=true", "-serve-models", "mlp",
+		"-node-id", "n1", "-gossip-interval", "50ms")
+	n2 := startServer(t, "-demo-models=true", "-serve-models", "forest",
+		"-node-id", "n2", "-peers", n1.addr, "-gossip-interval", "50ms")
+	n3 := startServer(t, "-node-id", "n3", "-peers", n1.addr, "-gossip-interval", "50ms")
+	stopped := map[*proc]bool{}
+	stop := func(p *proc) {
+		if !stopped[p] {
+			stopped[p] = true
+			p.stop(t)
+		}
+	}
+	defer stop(n3)
+	defer stop(n2)
+	defer stop(n1)
+
+	// Convergence: the router learns both holders and their models.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st clusterState
+		getJSON(t, n3.url("/v1/cluster/state"), &st)
+		if st.Status == "ok" && len(st.Members) == 3 &&
+			len(st.Routes["mlp"]) > 0 && len(st.Routes["forest"]) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never converged on n3: %+v", st)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// /healthz surfaces the cluster state on every node.
+	for _, p := range []*proc{n1, n2, n3} {
+		var hz map[string]string
+		getJSON(t, p.url("/healthz"), &hz)
+		if hz["cluster"] != "ok" {
+			t.Fatalf("healthz cluster on %s = %q, want ok", p.addr, hz["cluster"])
+		}
+	}
+
+	// Transparent forwarding: the router holds nothing, yet serves both
+	// models by proxying to their owners.
+	for model, owner := range map[string]string{"mlp": "n1", "forest": "n2"} {
+		resp := postPredict(t, n3, model)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %s via router = %d, want 200", model, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-MobileDL-Node"); got != owner {
+			t.Fatalf("predict %s served by %q, want %s", model, got, owner)
+		}
+		if got := resp.Header.Get("X-MobileDL-Origin"); got != "n3" {
+			t.Fatalf("predict %s origin %q, want n3", model, got)
+		}
+		resp.Body.Close()
+	}
+	// Entry at a holder that owns the model serves locally.
+	resp := postPredict(t, n1, "mlp")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-MobileDL-Node") != "n1" {
+		t.Fatalf("predict mlp on its owner: status %d served by %q", resp.StatusCode, resp.Header.Get("X-MobileDL-Node"))
+	}
+	resp.Body.Close()
+
+	// The router's /metrics shows cluster families with forward traffic.
+	mresp, err := http.Get(n3.url("/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf bytes.Buffer
+	_, _ = mbuf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"mobiledl_cluster_peers", "mobiledl_cluster_forwards_total"} {
+		if !strings.Contains(mbuf.String(), want) {
+			t.Fatalf("router /metrics missing %s", want)
+		}
+	}
+
+	// Kill the mlp holder. The survivors keep forest servable; mlp (whose
+	// only holder died) answers 404 via the local registry, not a hang or 502
+	// storm; the remaining pair stays status ok.
+	stop(n1)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		var st clusterState
+		getJSON(t, n3.url("/v1/cluster/state"), &st)
+		if len(st.Routes["mlp"]) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("n3 never dropped the dead holder from mlp routes: %+v", st.Routes)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	resp = postPredict(t, n3, "forest")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-MobileDL-Node") != "n2" {
+		t.Fatalf("post-kill predict forest: status %d served by %q", resp.StatusCode, resp.Header.Get("X-MobileDL-Node"))
+	}
+	resp.Body.Close()
+	resp = postPredict(t, n3, "mlp")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("post-kill predict mlp = %d, want 404 (only holder is gone)", resp.StatusCode)
+	}
+	resp.Body.Close()
+	var hz map[string]string
+	getJSON(t, n3.url("/healthz"), &hz)
+	if hz["cluster"] != "ok" {
+		t.Fatalf("post-kill healthz cluster on n3 = %q, want ok (n2 still alive)", hz["cluster"])
+	}
+}
+
+// TestServeModelsFlag: -serve-models restricts the demo install to the named
+// subset and rejects unknown names.
+func TestServeModelsFlag(t *testing.T) {
+	p := startServer(t, "-demo-models=true", "-serve-models", "forest")
+	defer p.stop(t)
+	var models []struct {
+		Name string `json:"name"`
+	}
+	getJSON(t, p.url("/v1/models"), &models)
+	if len(models) != 1 || models[0].Name != "forest" {
+		t.Fatalf("models = %+v, want exactly forest", models)
+	}
+
+	if _, err := parseServeModels("mlp, forest"); err != nil {
+		t.Fatalf("parseServeModels rejected a valid list: %v", err)
+	}
+	if _, err := parseServeModels("bogus"); err == nil {
+		t.Fatal("parseServeModels accepted an unknown model name")
+	}
+}

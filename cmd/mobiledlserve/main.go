@@ -43,6 +43,20 @@
 // queueing doomed work. SIGINT/SIGTERM shut down gracefully — intake stops,
 // in-flight batches drain, the registry closes.
 //
+// Several mobiledlserve processes become one logical service with the
+// cluster flags: -peers seeds gossip membership (liveness, model/version
+// inventory, load), a consistent-hash ring shards model ownership, and a
+// /v1/predict for a model owned elsewhere is transparently forwarded to the
+// owner — traceparent propagated, hops capped via X-MobileDL-Hops, slow or
+// failed peers routed around by a per-peer score with bounded retries.
+// -node-rps caps locally served predicts (shed 429 beyond) so per-node
+// capacity is explicit; /healthz gains a "cluster" field
+// (solo|joining|ok|partitioned) and /metrics the mobiledl_cluster_* family:
+//
+//	mobiledlserve -addr :8080 -node-id a -peers host2:8080,host3:8080
+//	POST /v1/cluster/gossip   peer state exchange (internal)
+//	GET  /v1/cluster/state    membership, liveness, routes per model
+//
 // With -train the server additionally runs the federated train-to-serve
 // loop (internal/fedserve): a "fedmlp" model trains continuously on
 // simulated non-IID mobile clients and every accepted round hot-publishes a
@@ -66,10 +80,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"mobiledl/internal/baselines"
+	"mobiledl/internal/cluster"
 	"mobiledl/internal/compress"
 	"mobiledl/internal/core"
 	"mobiledl/internal/data"
@@ -138,6 +154,12 @@ func runCtx(ctx context.Context, args []string, restoreSignals func()) error {
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	dataDir := fs.String("data-dir", "", "durable model store directory: published versions and training checkpoints survive restarts (empty = in-RAM only)")
 	demoModels := fs.Bool("demo-models", true, "train and serve the demonstration models (mlp, mlp-compressed, cascade, forest) at startup")
+	serveModels := fs.String("serve-models", "", "comma-separated subset of the demo models to train and serve (empty = all four); the knob cluster deployments shard models across nodes with")
+	nodeID := fs.String("node-id", "", "cluster node id (enables the cluster layer; defaults to the advertise address when -peers or -node-rps is set)")
+	peers := fs.String("peers", "", "comma-separated seed peer addresses (host:port) to gossip cluster membership with")
+	advertiseFlag := fs.String("advertise", "", "host:port peers use to reach this node (default: the bound listen address, with unspecified hosts rewritten to 127.0.0.1)")
+	gossipInterval := fs.Duration("gossip-interval", time.Second, "cluster gossip exchange interval")
+	nodeRPS := fs.Float64("node-rps", 0, "node serving capacity: locally served predicts/sec beyond which this node sheds 429 (0 = uncapped); forwarded requests are exempt")
 	showVersion := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -214,16 +236,59 @@ func runCtx(ctx context.Context, args []string, restoreSignals func()) error {
 
 	var served []string
 	if *demoModels {
-		fmt.Println("training demonstration models on synthetic data...")
-		if err := installModels(reg, *sparsity, *bits, *seed); err != nil {
+		want, err := parseServeModels(*serveModels)
+		if err != nil {
 			return err
 		}
-		served = append(served, "mlp", "mlp-compressed", "cascade", "forest")
+		fmt.Println("training demonstration models on synthetic data...")
+		if err := installModels(reg, *sparsity, *bits, *seed, want); err != nil {
+			return err
+		}
+		for _, name := range demoModelNames {
+			if want[name] {
+				served = append(served, name)
+			}
+		}
 	}
 
-	srv := serve.NewServerWith(reg, serve.ServerConfig{
-		DefaultTimeout: *budget, Tracer: tracer, Logger: logger,
-	})
+	// The listener opens before the cluster/server wiring so the cluster
+	// layer can advertise the actually-bound address (":0" in tests and the
+	// multi-process harness resolves here). http.Server.Serve takes
+	// ownership later; the deferred Close only matters on early error paths.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = ln.Close() }()
+
+	// The cluster layer turns N processes into one logical service. It is on
+	// when any of its knobs is set; -node-rps alone yields a capacity-gated
+	// solo node (the single-node baseline of the cluster harness).
+	var cl *cluster.Node
+	if *peers != "" || *nodeID != "" || *nodeRPS > 0 {
+		adv := *advertiseFlag
+		if adv == "" {
+			adv = advertiseAddr(ln.Addr())
+		}
+		id := *nodeID
+		if id == "" {
+			id = adv
+		}
+		cl, err = cluster.New(cluster.Config{
+			NodeID: id, AdvertiseAddr: adv, Peers: splitPeers(*peers),
+			GossipInterval: *gossipInterval, LocalRPS: *nodeRPS,
+			Inventory: reg.Inventory, Tracer: tracer, Logger: logger,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	scfg := serve.ServerConfig{DefaultTimeout: *budget, Tracer: tracer, Logger: logger}
+	if cl != nil {
+		scfg.ClusterStatus = cl.Status
+	}
+	srv := serve.NewServerWith(reg, scfg)
 	defer func() {
 		srv.Close()
 		emitEvent("server-close", "")
@@ -277,6 +342,18 @@ func runCtx(ctx context.Context, args []string, restoreSignals func()) error {
 	}
 	mux.Handle("/", srv.Handler())
 
+	// The cluster handler wraps the whole mux: it owns /v1/cluster/* and
+	// intercepts /v1/predict for routing; everything else passes through.
+	var handler http.Handler = mux
+	if cl != nil {
+		handler = cl.Handler(mux)
+		srv.AddMetricsSource(cl.WriteMetrics)
+		cl.Start()
+		defer cl.Stop()
+		fmt.Printf("cluster node %q gossiping every %s (peers: %q, node-rps %g)\n",
+			*nodeID, *gossipInterval, *peers, *nodeRPS)
+	}
+
 	for _, info := range reg.Snapshot() {
 		line := fmt.Sprintf("serving %-15s v%d  %-8s %-15s %d params",
 			info.Name, info.Version, info.Kind, info.Algorithm, info.Params)
@@ -285,22 +362,18 @@ func runCtx(ctx context.Context, args []string, restoreSignals func()) error {
 		}
 		fmt.Println(line)
 	}
-	// A configured http.Server over an explicit listener: header and idle
-	// timeouts bound slow-loris and dead keep-alive connections, Shutdown
-	// gives ctx cancellation (SIGTERM/SIGINT in production) a graceful path —
-	// stop intake, let in-flight handlers finish, then (via the deferred
-	// closes above) drain the batchers, release the registry, and close the
-	// store — and listening before announcing lets :0 tests discover the
-	// bound port.
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
+	// A configured http.Server over the listener opened above: header and
+	// idle timeouts bound slow-loris and dead keep-alive connections,
+	// Shutdown gives ctx cancellation (SIGTERM/SIGINT in production) a
+	// graceful path — stop intake, let in-flight handlers finish, then (via
+	// the deferred closes above) drain the batchers, release the registry,
+	// and close the store — and announcing only here lets :0 tests discover
+	// the bound port once serving is actually imminent.
 	fmt.Printf("mobiledlserve %s listening on %s (batch<=%d, window %s, budget %s, network %s, trace-sample %g)\n",
 		version.Version, ln.Addr(), *maxBatch, *window, *budget, netw.Kind, *traceSample)
 	emitEvent("listen", ln.Addr().String())
 	hsrv := &http.Server{
-		Handler:           mux,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
@@ -388,6 +461,65 @@ func setupTraining(reg *serve.Registry, factory federated.ModelFactory, ck fedse
 	})
 }
 
+// demoModelNames is the full demonstration-model set, in serving order.
+var demoModelNames = []string{"mlp", "mlp-compressed", "cascade", "forest"}
+
+// parseServeModels resolves -serve-models: empty selects every demo model,
+// otherwise a comma-separated subset of demoModelNames.
+func parseServeModels(s string) (map[string]bool, error) {
+	want := make(map[string]bool, len(demoModelNames))
+	if strings.TrimSpace(s) == "" {
+		for _, n := range demoModelNames {
+			want[n] = true
+		}
+		return want, nil
+	}
+	valid := make(map[string]bool, len(demoModelNames))
+	for _, n := range demoModelNames {
+		valid[n] = true
+	}
+	for _, n := range strings.Split(s, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !valid[n] {
+			return nil, fmt.Errorf("unknown model %q in -serve-models (valid: %s)", n, strings.Join(demoModelNames, ","))
+		}
+		want[n] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("-serve-models %q selects no models", s)
+	}
+	return want, nil
+}
+
+// splitPeers parses the -peers flag into dial addresses.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// advertiseAddr turns the bound listener address into something peers can
+// dial: an unspecified host (":8080" binds the wildcard address) becomes
+// 127.0.0.1, so same-machine clusters work out of the box; multi-machine
+// deployments set -advertise explicitly.
+func advertiseAddr(a net.Addr) string {
+	host, port, err := net.SplitHostPort(a.String())
+	if err != nil {
+		return a.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
 func parseNetwork(s string) (mobile.Network, error) {
 	switch s {
 	case "wifi":
@@ -401,98 +533,111 @@ func parseNetwork(s string) (mobile.Network, error) {
 	}
 }
 
-// installModels trains four servables on one synthetic task, one per
-// backend family: a plain MLP (DenseBackend), a Deep-Compressed copy of it
-// (loaded through the registry's compression path), a split/early-exit
-// cascade (CascadeBackend), and a random forest (BaselineBackend).
-func installModels(reg *serve.Registry, sparsity float64, bits int, seed int64) error {
+// installModels trains the selected servables on one synthetic task, one
+// per backend family: a plain MLP (DenseBackend), a Deep-Compressed copy of
+// it (loaded through the registry's compression path), a split/early-exit
+// cascade (CascadeBackend), and a random forest (BaselineBackend). want
+// filters which to train — cluster deployments shard the set across nodes —
+// and training mlp-compressed trains the MLP it compresses even when the
+// plain model is not selected.
+func installModels(reg *serve.Registry, sparsity float64, bits int, seed int64, want map[string]bool) error {
 	fb, err := data.GenerateFedBench(data.FedBenchConfig{Samples: 800, Classes: classes, Dim: inputDim, Seed: seed})
 	if err != nil {
 		return err
 	}
 
-	// Plain MLP.
-	model, _, err := core.NewMLP(core.MLPSpec{In: inputDim, Hidden: []int{64, 32}, Classes: classes, Seed: seed})
-	if err != nil {
-		return err
-	}
-	if err := core.TrainCentralized(model, fb.X, fb.Labels, classes, 4, seed); err != nil {
-		return err
-	}
-	mlp, err := serve.NewDenseBackend(model)
-	if err != nil {
-		return err
-	}
-	if _, err := reg.Install("mlp", mlp); err != nil {
-		return err
-	}
-
-	// Compressed copy, loaded through the registry's factory + pipeline path.
-	blob, err := nn.EncodeWeights(model)
-	if err != nil {
-		return err
-	}
-	err = reg.Register("mlp-compressed", func() (serve.Backend, error) {
-		m, _, err := core.NewMLP(core.MLPSpec{In: inputDim, Hidden: []int{64, 32}, Classes: classes, Seed: seed})
+	if want["mlp"] || want["mlp-compressed"] {
+		// Plain MLP (also the source weights for the compressed copy).
+		model, _, err := core.NewMLP(core.MLPSpec{In: inputDim, Hidden: []int{64, 32}, Classes: classes, Seed: seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return serve.NewDenseBackend(m)
-	})
-	if err != nil {
-		return err
-	}
-	if _, err := reg.LoadCompressed("mlp-compressed", bytes.NewReader(blob),
-		compress.PipelineConfig{Sparsity: sparsity, Bits: bits, Seed: seed}); err != nil {
-		return err
-	}
-
-	// Split/early-exit cascade.
-	rng := rand.New(rand.NewSource(seed))
-	local := nn.NewSequential(nn.NewDense(rng, inputDim, 32), nn.NewTanh())
-	cloud := nn.NewSequential(nn.NewDense(rng, 32, 64), nn.NewReLU(), nn.NewDense(rng, 64, classes))
-	exit := nn.NewSequential(nn.NewDense(rng, 32, classes))
-	pipe, err := split.New(split.Config{Local: local, Cloud: cloud, NullRate: 0.1, NoiseSigma: 0.5, Bound: 4})
-	if err != nil {
-		return err
-	}
-	tc := split.TrainConfig{
-		Epochs: 4, BatchSize: 32, Optimizer: opt.NewAdam(0.01),
-		Rng: rng, NoisyFraction: 1,
-	}
-	if _, err := pipe.TrainCloud(fb.X, fb.Labels, classes, tc); err != nil {
-		return err
-	}
-	cascade, err := split.NewEarlyExit(pipe, exit, 0.8)
-	if err != nil {
-		return err
-	}
-	exitCfg := tc
-	exitCfg.NoisyFraction = 0
-	if err := cascade.TrainExit(fb.X, fb.Labels, classes, exitCfg); err != nil {
-		return err
-	}
-	cb, err := serve.NewCascadeBackend(cascade)
-	if err != nil {
-		return err
-	}
-	if _, err := reg.Install("cascade", cb); err != nil {
-		return err
+		if err := core.TrainCentralized(model, fb.X, fb.Labels, classes, 4, seed); err != nil {
+			return err
+		}
+		if want["mlp"] {
+			mlp, err := serve.NewDenseBackend(model)
+			if err != nil {
+				return err
+			}
+			if _, err := reg.Install("mlp", mlp); err != nil {
+				return err
+			}
+		}
+		if want["mlp-compressed"] {
+			// Compressed copy, loaded through the registry's factory +
+			// pipeline path.
+			blob, err := nn.EncodeWeights(model)
+			if err != nil {
+				return err
+			}
+			err = reg.Register("mlp-compressed", func() (serve.Backend, error) {
+				m, _, err := core.NewMLP(core.MLPSpec{In: inputDim, Hidden: []int{64, 32}, Classes: classes, Seed: seed})
+				if err != nil {
+					return nil, err
+				}
+				return serve.NewDenseBackend(m)
+			})
+			if err != nil {
+				return err
+			}
+			if _, err := reg.LoadCompressed("mlp-compressed", bytes.NewReader(blob),
+				compress.PipelineConfig{Sparsity: sparsity, Bits: bits, Seed: seed}); err != nil {
+				return err
+			}
+		}
 	}
 
-	// Random-forest baseline behind the same batcher.
-	forest := baselines.NewRandomForest()
-	forest.NumTrees = 25
-	forest.Seed = seed
-	if err := forest.Fit(fb.X, fb.Labels, classes); err != nil {
-		return err
+	if want["cascade"] {
+		// Split/early-exit cascade.
+		rng := rand.New(rand.NewSource(seed))
+		local := nn.NewSequential(nn.NewDense(rng, inputDim, 32), nn.NewTanh())
+		cloud := nn.NewSequential(nn.NewDense(rng, 32, 64), nn.NewReLU(), nn.NewDense(rng, 64, classes))
+		exit := nn.NewSequential(nn.NewDense(rng, 32, classes))
+		pipe, err := split.New(split.Config{Local: local, Cloud: cloud, NullRate: 0.1, NoiseSigma: 0.5, Bound: 4})
+		if err != nil {
+			return err
+		}
+		tc := split.TrainConfig{
+			Epochs: 4, BatchSize: 32, Optimizer: opt.NewAdam(0.01),
+			Rng: rng, NoisyFraction: 1,
+		}
+		if _, err := pipe.TrainCloud(fb.X, fb.Labels, classes, tc); err != nil {
+			return err
+		}
+		cascade, err := split.NewEarlyExit(pipe, exit, 0.8)
+		if err != nil {
+			return err
+		}
+		exitCfg := tc
+		exitCfg.NoisyFraction = 0
+		if err := cascade.TrainExit(fb.X, fb.Labels, classes, exitCfg); err != nil {
+			return err
+		}
+		cb, err := serve.NewCascadeBackend(cascade)
+		if err != nil {
+			return err
+		}
+		if _, err := reg.Install("cascade", cb); err != nil {
+			return err
+		}
 	}
-	fbk, err := serve.NewBaselineBackend(forest, inputDim)
-	if err != nil {
-		return err
-	}
-	if _, err := reg.Install("forest", fbk); err != nil {
-		return err
+
+	if want["forest"] {
+		// Random-forest baseline behind the same batcher.
+		forest := baselines.NewRandomForest()
+		forest.NumTrees = 25
+		forest.Seed = seed
+		if err := forest.Fit(fb.X, fb.Labels, classes); err != nil {
+			return err
+		}
+		fbk, err := serve.NewBaselineBackend(forest, inputDim)
+		if err != nil {
+			return err
+		}
+		if _, err := reg.Install("forest", fbk); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,39 @@
+// Package cluster turns N mobiledlserve processes into one logical serving
+// service. It is deliberately zero-dependency (stdlib plus the in-repo trace
+// and metrics packages) and couples to the serving layer only through
+// callbacks and an http.Handler wrapper, so the serving runtime never imports
+// it.
+//
+// Three mechanisms compose:
+//
+//   - A consistent-hash ring (ring.go) maps each model name onto an ordered
+//     sequence of nodes. 128 virtual nodes per member keep key shares within
+//     ~1.6x of each other and make membership changes move only ~1/N of the
+//     keys.
+//
+//   - Gossip membership (gossip.go) converges who is in the cluster and what
+//     each node can serve: every interval a node bumps its own heartbeat,
+//     snapshots its model inventory and load, and push-pull exchanges full
+//     state with a couple of random peers over POST /v1/cluster/gossip.
+//     Per-member state merges by highest heartbeat; a member whose heartbeat
+//     stops advancing for SuspectAfter is considered dead and drops out of
+//     the routing ring until it is heard from again.
+//
+//   - Peer-scored forwarding (forward.go, scorer.go) makes any node a valid
+//     entry point: a /v1/predict for a model this node does not own is
+//     transparently proxied to the best owner. Candidates are the alive
+//     ring-ordered nodes whose gossiped inventory includes the model, ranked
+//     by a per-peer score (EWMA forward latency, error rate, gossip
+//     freshness) bucketed so healthy clusters keep deterministic ring order
+//     while slow or failing peers get demoted. Retries are bounded, hops are
+//     capped via the X-MobileDL-Hops header (a stale-ring routing cycle is
+//     broken with a 502 instead of an infinite proxy loop), and the W3C
+//     traceparent header rides every hop so a cross-node predict is one
+//     trace.
+//
+// A node can also gate its own serving capacity (Config.LocalRPS): locally
+// served predicts pass a token bucket and shed 429 beyond it, which both
+// models per-node provisioning when several processes share one machine and
+// feeds the load signal gossiped to peers. Forwarded (proxied) requests do
+// not consume local capacity — proxying is cheap; the gate models compute.
+package cluster

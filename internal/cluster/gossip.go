@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"time"
+)
+
+// gossipFanout is how many peers one tick exchanges with. Two keeps
+// convergence O(log N) rounds while a 3-node cluster converges in one.
+const gossipFanout = 2
+
+// maxGossipBody bounds an inbound gossip payload (membership is small;
+// anything bigger is a confused or hostile caller).
+const maxGossipBody = 1 << 20
+
+// wireState is one member's gossiped state. Liveness is derived locally
+// from heartbeat *advances*, never from remote clocks, so nodes with skewed
+// clocks still converge.
+type wireState struct {
+	ID        string         `json:"id"`
+	Addr      string         `json:"addr"`
+	Heartbeat uint64         `json:"heartbeat"`
+	Load      float64        `json:"load"`
+	Models    map[string]int `json:"models"`
+}
+
+// gossipMsg is the push-pull payload: the sender's full membership view.
+// The response is the receiver's view in the same shape.
+type gossipMsg struct {
+	From  string      `json:"from"`
+	Nodes []wireState `json:"nodes"`
+}
+
+// gossipLoop ticks until Stop: refresh self, pick up to gossipFanout dial
+// targets (alive peers, unseen seeds, and dead members — probing the dead is
+// what lets a restarted node rejoin), exchange, merge.
+func (n *Node) gossipLoop() {
+	defer close(n.done)
+	ticker := time.NewTicker(n.cfg.GossipInterval)
+	defer ticker.Stop()
+	// First exchange immediately: a 3-node cluster is routable within one
+	// interval of the last node starting, not two.
+	n.gossipOnce()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-ticker.C:
+			n.gossipOnce()
+		}
+	}
+}
+
+// gossipOnce runs one tick of the loop.
+func (n *Node) gossipOnce() {
+	now := time.Now()
+	n.refreshSelf(now)
+	for _, addr := range n.pickTargets() {
+		if err := n.exchange(addr); err != nil {
+			n.gossipFails.Add(1)
+			n.cfg.Logger.Debug("gossip exchange failed", "node", n.cfg.NodeID, "peer", addr, "err", err)
+			continue
+		}
+		n.gossipRounds.Add(1)
+		n.mu.Lock()
+		n.exchanged = true
+		n.mu.Unlock()
+	}
+}
+
+// pickTargets chooses the tick's dial addresses: every configured seed not
+// yet in the membership (joining must converge), then a random sample of
+// known peer addresses (alive and dead alike).
+func (n *Node) pickTargets() []string {
+	n.mu.Lock()
+	known := make(map[string]struct{}, len(n.members))
+	var memberAddrs []string
+	for id, m := range n.members {
+		known[m.Addr] = struct{}{}
+		if id != n.cfg.NodeID {
+			memberAddrs = append(memberAddrs, m.Addr)
+		}
+	}
+	n.mu.Unlock()
+	var targets []string
+	for _, seed := range n.cfg.Peers {
+		if _, ok := known[seed]; !ok {
+			targets = append(targets, seed)
+		}
+	}
+	rand.Shuffle(len(memberAddrs), func(i, j int) {
+		memberAddrs[i], memberAddrs[j] = memberAddrs[j], memberAddrs[i]
+	})
+	for _, a := range memberAddrs {
+		if len(targets) >= gossipFanout && len(targets) >= len(n.cfg.Peers) {
+			break
+		}
+		targets = append(targets, a)
+	}
+	return targets
+}
+
+// exchange performs one push-pull with a peer: POST our view, merge theirs.
+func (n *Node) exchange(addr string) error {
+	body, err := json.Marshal(gossipMsg{From: n.cfg.NodeID, Nodes: n.snapshotWire()})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/cluster/gossip", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("gossip peer %s answered %d", addr, resp.StatusCode)
+	}
+	var msg gossipMsg
+	if err := json.NewDecoder(http.MaxBytesReader(nil, resp.Body, maxGossipBody)).Decode(&msg); err != nil {
+		return fmt.Errorf("gossip peer %s: bad response: %w", addr, err)
+	}
+	n.merge(msg.Nodes)
+	return nil
+}
+
+// snapshotWire renders the membership for the wire.
+func (n *Node) snapshotWire() []wireState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]wireState, 0, len(n.members))
+	for _, m := range n.members {
+		out = append(out, wireState{
+			ID: m.ID, Addr: m.Addr, Heartbeat: m.Heartbeat, Load: m.Load, Models: m.Models,
+		})
+	}
+	return out
+}
+
+// merge folds a remote view into the membership: per node id the higher
+// heartbeat wins; an advance stamps lastAdvance with the LOCAL clock (the
+// liveness reference). Self is authoritative locally and never merged.
+func (n *Node) merge(nodes []wireState) {
+	now := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ws := range nodes {
+		if ws.ID == "" || ws.ID == n.cfg.NodeID {
+			continue
+		}
+		m, ok := n.members[ws.ID]
+		if !ok {
+			m = &member{ID: ws.ID, score: &peerScore{}}
+			n.members[ws.ID] = m
+			n.cfg.Logger.Info("cluster member joined", "node", n.cfg.NodeID, "peer", ws.ID, "addr", ws.Addr)
+		}
+		if ws.Heartbeat > m.Heartbeat {
+			m.Heartbeat = ws.Heartbeat
+			m.Addr = ws.Addr
+			m.Load = ws.Load
+			m.Models = ws.Models
+			m.lastAdvance = now
+			m.score.heard(now)
+		}
+	}
+}
+
+// handleGossip is POST /v1/cluster/gossip: merge the caller's view, answer
+// with ours (the pull half of push-pull).
+func (n *Node) handleGossip(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		clusterError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var msg gossipMsg
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxGossipBody)).Decode(&msg); err != nil {
+		clusterError(w, http.StatusBadRequest, fmt.Errorf("bad gossip body: %w", err))
+		return
+	}
+	n.refreshSelf(time.Now())
+	n.merge(msg.Nodes)
+	// Being gossiped AT is as good as gossiping out for "have we ever
+	// exchanged": a node whose seeds dial it first is joined, not joining.
+	n.mu.Lock()
+	n.exchanged = true
+	n.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(gossipMsg{From: n.cfg.NodeID, Nodes: n.snapshotWire()})
+}
+
+// handleState is GET /v1/cluster/state: this node's membership + routes.
+func (n *Node) handleState(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		clusterError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(n.State())
+}
+
+func clusterError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// syntheticKeys returns n distinct model-name-like keys.
+func syntheticKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("model-%d", i)
+	}
+	return keys
+}
+
+func nodeIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node-%d", i)
+	}
+	return ids
+}
+
+// TestRingBalance: at 128 vnodes the key share of the most and least loaded
+// node stays within 1.6x of each other for every cluster size from 3 to 16.
+func TestRingBalance(t *testing.T) {
+	keys := syntheticKeys(20000)
+	for nodes := 3; nodes <= 16; nodes++ {
+		r := buildRing(nodeIDs(nodes), defaultVNodes)
+		counts := make(map[string]int, nodes)
+		for _, k := range keys {
+			counts[r.owner(k)]++
+		}
+		if len(counts) != nodes {
+			t.Fatalf("%d nodes: only %d received keys", nodes, len(counts))
+		}
+		minC, maxC := len(keys), 0
+		for _, c := range counts {
+			if c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		ratio := float64(maxC) / float64(minC)
+		if ratio >= 1.6 {
+			t.Errorf("%d nodes: max/min key share = %d/%d = %.2fx, want < 1.6x", nodes, maxC, minC, ratio)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoin: adding one node to an N-node ring moves
+// fewer than 2/(N+1) of the keys (ideal is 1/(N+1)), and every moved key
+// moves TO the new node — consistent hashing's defining property.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	keys := syntheticKeys(20000)
+	for nodes := 3; nodes <= 16; nodes++ {
+		before := buildRing(nodeIDs(nodes), defaultVNodes)
+		joined := append(nodeIDs(nodes), "node-joining")
+		after := buildRing(joined, defaultVNodes)
+		moved := 0
+		for _, k := range keys {
+			oldOwner, newOwner := before.owner(k), after.owner(k)
+			if oldOwner != newOwner {
+				moved++
+				if newOwner != "node-joining" {
+					t.Fatalf("%d nodes: key %q moved %s->%s, not to the joining node", nodes, k, oldOwner, newOwner)
+				}
+			}
+		}
+		bound := 2.0 / float64(nodes+1) * float64(len(keys))
+		if float64(moved) >= bound {
+			t.Errorf("join at %d nodes moved %d/%d keys, want < %.0f (2/N)", nodes, moved, len(keys), bound)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnLeave: removing one node moves exactly that
+// node's keys (every key it owned, no key anyone else owned).
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	keys := syntheticKeys(20000)
+	for nodes := 3; nodes <= 16; nodes++ {
+		ids := nodeIDs(nodes)
+		before := buildRing(ids, defaultVNodes)
+		after := buildRing(ids[:nodes-1], defaultVNodes) // last node leaves
+		leaver := ids[nodes-1]
+		moved := 0
+		for _, k := range keys {
+			oldOwner, newOwner := before.owner(k), after.owner(k)
+			if oldOwner == leaver {
+				if newOwner == leaver {
+					t.Fatalf("leaver %s still owns %q", leaver, k)
+				}
+				moved++
+				continue
+			}
+			if oldOwner != newOwner {
+				t.Fatalf("%d nodes: key %q owned by %s moved to %s though only %s left", nodes, k, oldOwner, newOwner, leaver)
+			}
+		}
+		bound := 2.0 / float64(nodes) * float64(len(keys))
+		if float64(moved) >= bound {
+			t.Errorf("leave at %d nodes moved %d/%d keys, want < %.0f (2/N)", nodes, moved, len(keys), bound)
+		}
+	}
+}
+
+// TestRingOwnersDistinctAndStable: owners returns distinct nodes in a
+// deterministic order, and the full ownership sequence covers the cluster.
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	r := buildRing(nodeIDs(5), defaultVNodes)
+	a := r.owners("some-model", 5)
+	b := r.owners("some-model", 5)
+	if len(a) != 5 {
+		t.Fatalf("owners returned %d nodes, want 5", len(a))
+	}
+	seen := make(map[string]bool)
+	for i, id := range a {
+		if seen[id] {
+			t.Fatalf("duplicate owner %s", id)
+		}
+		seen[id] = true
+		if b[i] != id {
+			t.Fatalf("owners not deterministic: %v vs %v", a, b)
+		}
+	}
+	if got := r.owners("some-model", 2); len(got) != 2 || got[0] != a[0] || got[1] != a[1] {
+		t.Fatalf("owners(2) = %v, want prefix of %v", got, a)
+	}
+}
+
+// TestRingEmpty: lookups on an empty ring are nil/"" rather than panics.
+func TestRingEmpty(t *testing.T) {
+	r := buildRing(nil, defaultVNodes)
+	if o := r.owner("m"); o != "" {
+		t.Fatalf("empty ring owner = %q", o)
+	}
+	if o := r.owners("m", 3); o != nil {
+		t.Fatalf("empty ring owners = %v", o)
+	}
+	var nilRing *ring
+	if o := nilRing.owners("m", 3); o != nil {
+		t.Fatalf("nil ring owners = %v", o)
+	}
+}

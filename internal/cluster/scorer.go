@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Scorer constants. Weights sum to 1; the score lands in [0, 1], higher is
+// better. The shape follows the eth2 beacon-chain peer scorers: an EWMA over
+// recent interactions, not a lifetime average, so a peer that recovers
+// climbs back quickly.
+const (
+	// ewmaAlpha is the weight of the newest observation.
+	ewmaAlpha = 0.3
+	// latencyHalfScale is the forward latency at which the latency component
+	// scores 0.5 (score = scale/(scale+latency)).
+	latencyHalfScale = 50 * time.Millisecond
+	// scoreWeightLatency, scoreWeightErrors, scoreWeightFresh weight the
+	// three components: forwarding latency, forwarding error rate, and how
+	// recently gossip has heard from the peer.
+	scoreWeightLatency = 0.3
+	scoreWeightErrors  = 0.5
+	scoreWeightFresh   = 0.2
+	// scoreBucket quantizes scores for candidate ordering: peers within the
+	// same bucket keep deterministic ring order, so a healthy cluster shards
+	// stably and only a clearly degraded peer is demoted.
+	scoreBucket = 0.25
+)
+
+// peerScore is one peer's EWMA health: written by the forwarder after every
+// attempt and by the gossip loop after every exchange.
+type peerScore struct {
+	mu sync.Mutex
+	// latEWMA is the smoothed forward latency in seconds (0 until observed).
+	latEWMA float64
+	// errEWMA is the smoothed error rate in [0, 1] (1 = every recent attempt
+	// failed).
+	errEWMA float64
+	// observed is set after the first forward observation; until then the
+	// latency/error components score neutral (1) so an un-probed peer is not
+	// penalized.
+	observed bool
+	// lastHeard is when gossip last advanced this peer's heartbeat.
+	lastHeard time.Time
+}
+
+// observe folds one forwarding attempt into the EWMAs. Failed attempts carry
+// the latency of the failure (a timeout is slow AND broken).
+func (p *peerScore) observe(lat time.Duration, failed bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l := lat.Seconds()
+	e := 0.0
+	if failed {
+		e = 1.0
+	}
+	if !p.observed {
+		p.observed = true
+		p.latEWMA = l
+		p.errEWMA = e
+		return
+	}
+	p.latEWMA = ewmaAlpha*l + (1-ewmaAlpha)*p.latEWMA
+	p.errEWMA = ewmaAlpha*e + (1-ewmaAlpha)*p.errEWMA
+}
+
+// heard records a gossip update from (or about) the peer.
+func (p *peerScore) heard(now time.Time) {
+	p.mu.Lock()
+	p.lastHeard = now
+	p.mu.Unlock()
+}
+
+// score combines the components at a point in time. suspectAfter calibrates
+// the freshness decay: a peer not heard from for suspectAfter scores 0 on
+// freshness (and is likely dead anyway).
+func (p *peerScore) score(now time.Time, suspectAfter time.Duration) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	latComp, errComp := 1.0, 1.0
+	if p.observed {
+		scale := latencyHalfScale.Seconds()
+		latComp = scale / (scale + p.latEWMA)
+		errComp = 1 - p.errEWMA
+	}
+	fresh := 0.0
+	if !p.lastHeard.IsZero() && suspectAfter > 0 {
+		age := now.Sub(p.lastHeard).Seconds()
+		fresh = 1 - age/suspectAfter.Seconds()
+		fresh = math.Max(0, math.Min(1, fresh))
+	}
+	return scoreWeightLatency*latComp + scoreWeightErrors*errComp + scoreWeightFresh*fresh
+}
+
+// bucket quantizes a score for ordering (see scoreBucket).
+func bucket(score float64) float64 {
+	return math.Floor(score/scoreBucket) * scoreBucket
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScorerUnobservedPeerIsNeutral(t *testing.T) {
+	p := &peerScore{}
+	now := time.Now()
+	p.heard(now)
+	// Unprobed but freshly gossiped: latency/error components score neutral,
+	// freshness is full, so the peer sits at the top score.
+	if s := p.score(now, time.Second); s < 0.99 {
+		t.Fatalf("fresh unobserved peer score = %.3f, want ~1.0", s)
+	}
+	// Never heard from at all: only freshness is missing.
+	q := &peerScore{}
+	want := scoreWeightLatency + scoreWeightErrors
+	if s := q.score(now, time.Second); s < want-0.01 || s > want+0.01 {
+		t.Fatalf("never-heard peer score = %.3f, want ~%.2f", s, want)
+	}
+}
+
+func TestScorerErrorsDragScoreDown(t *testing.T) {
+	now := time.Now()
+	healthy := &peerScore{}
+	failing := &peerScore{}
+	healthy.heard(now)
+	failing.heard(now)
+	for i := 0; i < 10; i++ {
+		healthy.observe(5*time.Millisecond, false)
+		failing.observe(5*time.Millisecond, true)
+	}
+	hs, fs := healthy.score(now, time.Second), failing.score(now, time.Second)
+	if hs <= fs {
+		t.Fatalf("healthy score %.3f <= failing score %.3f", hs, fs)
+	}
+	// Ten straight failures should cross at least one bucket boundary — that
+	// is what actually demotes a peer in candidate ordering.
+	if bucket(hs) <= bucket(fs) {
+		t.Fatalf("bucket(healthy)=%.2f not above bucket(failing)=%.2f", bucket(hs), bucket(fs))
+	}
+}
+
+func TestScorerLatencyComponent(t *testing.T) {
+	now := time.Now()
+	fast := &peerScore{}
+	slow := &peerScore{}
+	fast.heard(now)
+	slow.heard(now)
+	for i := 0; i < 10; i++ {
+		fast.observe(time.Millisecond, false)
+		slow.observe(500*time.Millisecond, false)
+	}
+	if fs, ss := fast.score(now, time.Second), slow.score(now, time.Second); fs <= ss {
+		t.Fatalf("fast peer %.3f <= slow peer %.3f", fs, ss)
+	}
+}
+
+func TestScorerRecovers(t *testing.T) {
+	now := time.Now()
+	p := &peerScore{}
+	p.heard(now)
+	for i := 0; i < 10; i++ {
+		p.observe(5*time.Millisecond, true)
+	}
+	bad := p.score(now, time.Second)
+	for i := 0; i < 20; i++ {
+		p.observe(5*time.Millisecond, false)
+	}
+	good := p.score(now, time.Second)
+	if good <= bad {
+		t.Fatalf("score did not recover: %.3f -> %.3f", bad, good)
+	}
+	if good < 0.9 {
+		t.Fatalf("recovered score %.3f, want > 0.9 (EWMA, not lifetime average)", good)
+	}
+}
+
+func TestScorerFreshnessDecays(t *testing.T) {
+	base := time.Now()
+	p := &peerScore{}
+	p.heard(base)
+	suspect := time.Second
+	s0 := p.score(base, suspect)
+	s1 := p.score(base.Add(500*time.Millisecond), suspect)
+	s2 := p.score(base.Add(2*time.Second), suspect)
+	if !(s0 > s1 && s1 > s2) {
+		t.Fatalf("freshness did not decay: %.3f, %.3f, %.3f", s0, s1, s2)
+	}
+	// Past suspectAfter the freshness component is exactly zero, not negative.
+	if want := scoreWeightLatency + scoreWeightErrors; s2 < want-0.01 || s2 > want+0.01 {
+		t.Fatalf("stale score = %.3f, want ~%.2f", s2, want)
+	}
+}
+
+func TestBucketQuantizes(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{1.0, 1.0}, {0.99, 0.75}, {0.76, 0.75}, {0.74, 0.5}, {0.1, 0.0}, {0.0, 0.0},
+	}
+	for _, c := range cases {
+		if got := bucket(c.in); got != c.want {
+			t.Errorf("bucket(%.2f) = %.2f, want %.2f", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestRegistryInventory: Inventory snapshots name -> current version for the
+// cluster's gossip (models without a loaded version are absent).
+func TestRegistryInventory(t *testing.T) {
+	reg := NewRegistry()
+	if inv := reg.Inventory(); len(inv) != 0 {
+		t.Fatalf("empty registry inventory = %v", inv)
+	}
+	if _, err := reg.Install("m1", mustDense(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Install("m2", mustDense(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Install("m2", mustDense(t, 3)); err != nil { // hot swap to v2
+		t.Fatal(err)
+	}
+	inv := reg.Inventory()
+	if len(inv) != 2 || inv["m1"] != 1 || inv["m2"] != 2 {
+		t.Fatalf("inventory = %v, want m1:1 m2:2", inv)
+	}
+	// The snapshot is a copy: mutating it must not reach the registry.
+	inv["m1"] = 99
+	if got := reg.Inventory()["m1"]; got != 1 {
+		t.Fatalf("inventory aliased registry state: m1 = %d", got)
+	}
+}
+
+// TestHealthzClusterField: with a ClusterStatus hook wired, /healthz carries
+// the cluster state; without it, the field is absent (solo deployments keep
+// their old payload shape).
+func TestHealthzClusterField(t *testing.T) {
+	healthz := func(srv *Server) map[string]string {
+		t.Helper()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	plain := NewServerWith(NewRegistry(), ServerConfig{})
+	if body := healthz(plain); body["cluster"] != "" {
+		t.Fatalf("healthz without cluster hook = %v, want no cluster field", body)
+	}
+
+	status := "joining"
+	srv := NewServerWith(NewRegistry(), ServerConfig{
+		ClusterStatus: func() string { return status },
+	})
+	if body := healthz(srv); body["cluster"] != "joining" {
+		t.Fatalf("healthz cluster = %q, want joining", body["cluster"])
+	}
+	status = "ok"
+	if body := healthz(srv); body["cluster"] != "ok" {
+		t.Fatalf("healthz cluster = %q, want ok (hook consulted per request)", body["cluster"])
+	}
+
+	// Draining still reports the cluster field alongside the 503.
+	srv.StartDrain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status = %d, want 503", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["cluster"] != "ok" {
+		t.Fatalf("draining healthz cluster = %q, want ok", body["cluster"])
+	}
+}

@@ -413,6 +413,21 @@ func (r *Registry) Snapshot() []ModelInfo {
 	return infos
 }
 
+// Inventory lists the models with a loaded current version and that
+// version's number — the cheap snapshot the cluster layer gossips to peers
+// (Snapshot carries provenance and sizes this path never needs).
+func (r *Registry) Inventory() map[string]int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	inv := make(map[string]int, len(r.entries))
+	for name, e := range r.entries {
+		if l := e.cur.Load(); l != nil {
+			inv[name] = l.Version
+		}
+	}
+	return inv
+}
+
 // Checkpoint serializes the current weights of a model, the blob Load
 // accepts — Checkpoint-then-Load round-trips a hot swap.
 func (r *Registry) Checkpoint(name string) ([]byte, error) {

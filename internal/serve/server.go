@@ -43,6 +43,11 @@ type ServerConfig struct {
 	Tracer *trace.Tracer
 	// Logger receives structured request logs; nil means slog.Default().
 	Logger *slog.Logger
+	// ClusterStatus, when set, reports this node's cluster membership state
+	// ("solo", "joining", "ok", or "partitioned") on /healthz — the seam the
+	// cluster layer exports health through without this package importing
+	// it. Nil omits the field (single-process deployment).
+	ClusterStatus func() string
 }
 
 func (c *ServerConfig) fill() {
@@ -171,6 +176,9 @@ func (s *Server) Handler() http.Handler {
 // store alone never turns readiness off.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	body := map[string]string{"status": "ok", "store": s.registry.StoreStatus()}
+	if s.cfg.ClusterStatus != nil {
+		body["cluster"] = s.cfg.ClusterStatus()
+	}
 	if s.draining.Load() {
 		body["status"] = "draining"
 		w.Header().Set("Content-Type", "application/json")
