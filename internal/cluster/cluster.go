@@ -105,8 +105,12 @@ func (c *Config) fill() error {
 
 // member is one known node's gossiped state plus local bookkeeping.
 type member struct {
-	ID        string
-	Addr      string
+	ID   string
+	Addr string
+	// Gen is the node's incarnation: seeded from its boot clock, so each
+	// restart gossips a strictly higher value. A higher Gen wins a merge
+	// outright — heartbeats only order states within one incarnation.
+	Gen       uint64
 	Heartbeat uint64
 	Load      float64
 	Models    map[string]int
@@ -168,7 +172,8 @@ func New(cfg Config) (*Node, error) {
 		n.gate = newTokenBucket(cfg.LocalRPS)
 	}
 	n.members[cfg.NodeID] = &member{
-		ID: cfg.NodeID, Addr: cfg.AdvertiseAddr, Heartbeat: 1,
+		ID: cfg.NodeID, Addr: cfg.AdvertiseAddr,
+		Gen: uint64(time.Now().UnixNano()), Heartbeat: 1,
 		Models: cfg.Inventory(), lastAdvance: time.Now(), score: &peerScore{},
 	}
 	return n, nil
@@ -263,11 +268,28 @@ func (n *Node) aliveLocked(now time.Time) []*member {
 	return out
 }
 
-// routeTable returns the current ring (rebuilt only when the alive set
-// changed) plus the alive members by id.
-func (n *Node) routeTable(now time.Time) (*ring, map[string]*member) {
+// candidate is one routing choice for a model: a copy of a member's identity
+// taken while n.mu was held, so request goroutines never touch mutable
+// member fields the gossip merge rewrites concurrently. The score handle is
+// safe to share — it is internally locked and never reassigned after the
+// member is created.
+type candidate struct {
+	ID    string
+	Addr  string
+	score *peerScore
+}
+
+// candidates returns the alive nodes that can serve model, in ring order
+// reordered by score bucket (healthy cluster: pure ring order; degraded
+// peers demoted). Self's inventory is consulted live so routing never trusts
+// a stale self snapshot. The ring is rebuilt only when the alive set
+// changed, and everything mutable is copied out under n.mu — *member
+// pointers never escape the lock.
+func (n *Node) candidates(model string, now time.Time) []candidate {
+	localInv := n.cfg.Inventory()
+	_, localHas := localInv[model]
+
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	alive := n.aliveLocked(now)
 	ids := make([]string, len(alive))
 	byID := make(map[string]*member, len(alive))
@@ -280,42 +302,34 @@ func (n *Node) routeTable(now time.Time) (*ring, map[string]*member) {
 		n.ring = buildRing(ids, n.cfg.VNodes)
 		n.ringKey = key
 	}
-	return n.ring, byID
-}
-
-// candidates returns the alive nodes that can serve model, in ring order
-// reordered by score bucket (healthy cluster: pure ring order; degraded
-// peers demoted). Self's inventory is consulted live so routing never trusts
-// a stale self snapshot.
-func (n *Node) candidates(model string, now time.Time) []*member {
-	r, byID := n.routeTable(now)
-	ordered := r.owners(model, len(byID))
-	localInv := n.cfg.Inventory()
-	cands := make([]*member, 0, len(ordered))
+	ordered := n.ring.owners(model, len(byID))
+	cands := make([]candidate, 0, len(ordered))
 	for _, id := range ordered {
 		m := byID[id]
 		if m == nil {
 			continue
 		}
 		if id == n.cfg.NodeID {
-			if _, ok := localInv[model]; !ok {
+			if !localHas {
 				continue
 			}
 		} else if _, ok := m.Models[model]; !ok {
 			continue
 		}
-		cands = append(cands, m)
+		cands = append(cands, candidate{ID: m.ID, Addr: m.Addr, score: m.score})
 	}
+	n.mu.Unlock()
+
 	if len(cands) > 1 {
 		// Stable sort by quantized score, descending: ties (the healthy
 		// common case) keep ring order, so sharding stays deterministic.
 		buckets := make(map[string]float64, len(cands))
-		for _, m := range cands {
-			if m.ID == n.cfg.NodeID {
-				buckets[m.ID] = 1 // never demote self on self-score
+		for _, c := range cands {
+			if c.ID == n.cfg.NodeID {
+				buckets[c.ID] = 1 // never demote self on self-score
 				continue
 			}
-			buckets[m.ID] = bucket(m.score.score(now, n.cfg.SuspectAfter))
+			buckets[c.ID] = bucket(c.score.score(now, n.cfg.SuspectAfter))
 		}
 		sort.SliceStable(cands, func(i, j int) bool {
 			return buckets[cands[i].ID] > buckets[cands[j].ID]
@@ -330,6 +344,7 @@ type MemberView struct {
 	Addr      string         `json:"addr"`
 	Self      bool           `json:"self,omitempty"`
 	Alive     bool           `json:"alive"`
+	Gen       uint64         `json:"gen"`
 	Heartbeat uint64         `json:"heartbeat"`
 	Load      float64        `json:"load"`
 	Models    map[string]int `json:"models"`
@@ -363,6 +378,7 @@ func (n *Node) State() StateView {
 		mv := MemberView{
 			ID: m.ID, Addr: m.Addr, Self: id == n.cfg.NodeID,
 			Alive:     id == n.cfg.NodeID || m.alive(now, n.cfg.SuspectAfter),
+			Gen:       m.Gen,
 			Heartbeat: m.Heartbeat, Load: m.Load, Models: m.Models,
 			AgeMs: float64(now.Sub(m.lastAdvance)) / float64(time.Millisecond),
 			Score: m.score.score(now, n.cfg.SuspectAfter),

@@ -612,6 +612,115 @@ func TestModellessBodyPassesThrough(t *testing.T) {
 	}
 }
 
+// TestRestartedNodeRejoins: a rebooted peer comes back with its heartbeat
+// reset to 1 but a higher incarnation; merge must accept its fresh state
+// immediately instead of waiting for the new counter to outrun the old
+// uptime — and stale gossip about the old incarnation must not resurrect it.
+func TestRestartedNodeRejoins(t *testing.T) {
+	a := startTestNode(t, "node-a", staticInventory(), nil, nil)
+	// Long-lived first incarnation of node-b.
+	a.n.merge([]wireState{{ID: "node-b", Addr: "127.0.0.1:1", Gen: 50, Heartbeat: 100000, Models: map[string]int{"old": 1}}})
+	// Reboot: incarnation up, heartbeat restarted, new addr and inventory.
+	a.n.merge([]wireState{{ID: "node-b", Addr: "127.0.0.1:2", Gen: 51, Heartbeat: 1, Models: map[string]int{"new": 2}}})
+	a.n.mu.Lock()
+	m := a.n.members["node-b"]
+	addr, hb, models := m.Addr, m.Heartbeat, m.Models
+	a.n.mu.Unlock()
+	if addr != "127.0.0.1:2" || hb != 1 || models["new"] != 2 {
+		t.Fatalf("restarted peer not accepted: addr=%s heartbeat=%d models=%v", addr, hb, models)
+	}
+	// Third-hand gossip still carrying the dead incarnation loses.
+	a.n.merge([]wireState{{ID: "node-b", Addr: "127.0.0.1:1", Gen: 50, Heartbeat: 100001, Models: map[string]int{"old": 1}}})
+	a.n.mu.Lock()
+	addr = a.n.members["node-b"].Addr
+	a.n.mu.Unlock()
+	if addr != "127.0.0.1:2" {
+		t.Fatalf("stale incarnation overwrote the restarted peer: addr=%s", addr)
+	}
+}
+
+// TestRestartedNodeRejoinsOverGossip drives the same scenario through real
+// gossip: node-b restarts as a fresh process (same id, new port, heartbeat
+// back at 1) and node-a must route to the new instance promptly, not after
+// the new heartbeat outruns the old one.
+func TestRestartedNodeRejoinsOverGossip(t *testing.T) {
+	a := startTestNode(t, "node-a", staticInventory("m1"), fakeServe("node-a", 1), func(c *Config) {
+		c.GossipInterval = 25 * time.Millisecond
+		c.SuspectAfter = 150 * time.Millisecond
+	})
+	tweakB := func(c *Config) {
+		c.Peers = []string{a.addr}
+		c.GossipInterval = 25 * time.Millisecond
+		c.SuspectAfter = 150 * time.Millisecond
+	}
+	b1 := startTestNode(t, "node-b", staticInventory("m2"), fakeServe("node-b", 1), tweakB)
+	// Fake a long uptime so the old heartbeat dwarfs anything a fresh boot
+	// reaches during the test.
+	b1.n.mu.Lock()
+	b1.n.members["node-b"].Heartbeat = 1_000_000
+	b1.n.mu.Unlock()
+	a.n.Start()
+	b1.n.Start()
+	waitFor(t, 2*time.Second, func() bool {
+		cands := a.n.candidates("m2", time.Now())
+		return len(cands) == 1 && cands[0].Addr == b1.addr
+	}, "A learning the first incarnation of B")
+
+	b1.ts.Close()
+	b1.n.Stop()
+	b2 := startTestNode(t, "node-b", staticInventory("m2"), fakeServe("node-b", 2), tweakB)
+	b2.n.Start()
+	waitFor(t, 2*time.Second, func() bool {
+		cands := a.n.candidates("m2", time.Now())
+		return len(cands) == 1 && cands[0].Addr == b2.addr
+	}, "A accepting the restarted incarnation of B")
+}
+
+// TestGossipTickSurvivesBlackholedPeer: one peer that accepts connections
+// but never answers must not stall the tick past the per-exchange deadline
+// or starve the exchange with the healthy peer.
+func TestGossipTickSurvivesBlackholedPeer(t *testing.T) {
+	hang, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { _ = hang.Close() })
+
+	healthy := startTestNode(t, "node-h", staticInventory("m"), fakeServe("node-h", 1), nil)
+	a := startTestNode(t, "node-a", staticInventory(), nil, func(c *Config) {
+		c.GossipInterval = 50 * time.Millisecond
+	})
+	inject(a.n, "node-dead", hang.Addr().String(), nil)
+	inject(a.n, "node-h", healthy.addr, nil)
+
+	start := time.Now()
+	a.n.gossipOnce()
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("gossip tick took %v with a blackholed peer, want ~one GossipInterval", el)
+	}
+	if a.n.gossipRounds.Load() == 0 {
+		t.Fatal("no successful exchange — the blackholed peer starved the healthy one")
+	}
+	if a.n.gossipFails.Load() == 0 {
+		t.Fatal("the blackholed exchange did not fail — its deadline never fired")
+	}
+}
+
+// TestPickTargetsCapsFanout: once every seed is a member, one tick dials at
+// most gossipFanout peers, not all of them.
+func TestPickTargetsCapsFanout(t *testing.T) {
+	seeds := []string{"127.0.0.1:11", "127.0.0.1:12", "127.0.0.1:13", "127.0.0.1:14"}
+	a := startTestNode(t, "node-a", staticInventory(), nil, func(c *Config) {
+		c.Peers = seeds
+	})
+	for i, seed := range seeds {
+		inject(a.n, fmt.Sprintf("peer-%d", i), seed, nil)
+	}
+	if targets := a.n.pickTargets(); len(targets) > gossipFanout {
+		t.Fatalf("pickTargets dialed %d peers %v, want at most the fanout of %d", len(targets), targets, gossipFanout)
+	}
+}
+
 func waitFor(t *testing.T, timeout time.Duration, cond func() bool, what string) {
 	t.Helper()
 	deadline := time.Now().Add(timeout)

@@ -251,7 +251,7 @@ func (n *Node) forwardSpan(r *http.Request, model string, hops int) trace.Span {
 // a fwd.remote child span carrying the peer identity, and the remote node's
 // root span id (echoed in its response traceparent) is annotated back so the
 // cross-node trace joins up.
-func (n *Node) forwardTo(w http.ResponseWriter, r *http.Request, body []byte, peer *member, hops int, sp trace.Span) bool {
+func (n *Node) forwardTo(w http.ResponseWriter, r *http.Request, body []byte, peer candidate, hops int, sp trace.Span) bool {
 	n.forwards.Add(1)
 	child := sp.Child("fwd.remote",
 		trace.Str("peer", peer.ID),

@@ -2,11 +2,13 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand/v2"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -24,6 +26,7 @@ const maxGossipBody = 1 << 20
 type wireState struct {
 	ID        string         `json:"id"`
 	Addr      string         `json:"addr"`
+	Gen       uint64         `json:"gen"`
 	Heartbeat uint64         `json:"heartbeat"`
 	Load      float64        `json:"load"`
 	Models    map[string]int `json:"models"`
@@ -56,21 +59,32 @@ func (n *Node) gossipLoop() {
 	}
 }
 
-// gossipOnce runs one tick of the loop.
+// gossipOnce runs one tick of the loop: all targets are dialed concurrently,
+// each with its own deadline of one GossipInterval (well under SuspectAfter),
+// so a blackholed or partitioned peer cannot stall the tick and starve the
+// exchanges with healthy peers into staleness.
 func (n *Node) gossipOnce() {
 	now := time.Now()
 	n.refreshSelf(now)
+	var wg sync.WaitGroup
 	for _, addr := range n.pickTargets() {
-		if err := n.exchange(addr); err != nil {
-			n.gossipFails.Add(1)
-			n.cfg.Logger.Debug("gossip exchange failed", "node", n.cfg.NodeID, "peer", addr, "err", err)
-			continue
-		}
-		n.gossipRounds.Add(1)
-		n.mu.Lock()
-		n.exchanged = true
-		n.mu.Unlock()
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.GossipInterval)
+			defer cancel()
+			if err := n.exchange(ctx, addr); err != nil {
+				n.gossipFails.Add(1)
+				n.cfg.Logger.Debug("gossip exchange failed", "node", n.cfg.NodeID, "peer", addr, "err", err)
+				return
+			}
+			n.gossipRounds.Add(1)
+			n.mu.Lock()
+			n.exchanged = true
+			n.mu.Unlock()
+		}(addr)
 	}
+	wg.Wait()
 }
 
 // pickTargets chooses the tick's dial addresses: every configured seed not
@@ -97,7 +111,7 @@ func (n *Node) pickTargets() []string {
 		memberAddrs[i], memberAddrs[j] = memberAddrs[j], memberAddrs[i]
 	})
 	for _, a := range memberAddrs {
-		if len(targets) >= gossipFanout && len(targets) >= len(n.cfg.Peers) {
+		if len(targets) >= gossipFanout {
 			break
 		}
 		targets = append(targets, a)
@@ -106,12 +120,12 @@ func (n *Node) pickTargets() []string {
 }
 
 // exchange performs one push-pull with a peer: POST our view, merge theirs.
-func (n *Node) exchange(addr string) error {
+func (n *Node) exchange(ctx context.Context, addr string) error {
 	body, err := json.Marshal(gossipMsg{From: n.cfg.NodeID, Nodes: n.snapshotWire()})
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/cluster/gossip", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+"/v1/cluster/gossip", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -139,15 +153,21 @@ func (n *Node) snapshotWire() []wireState {
 	out := make([]wireState, 0, len(n.members))
 	for _, m := range n.members {
 		out = append(out, wireState{
-			ID: m.ID, Addr: m.Addr, Heartbeat: m.Heartbeat, Load: m.Load, Models: m.Models,
+			ID: m.ID, Addr: m.Addr, Gen: m.Gen, Heartbeat: m.Heartbeat,
+			Load: m.Load, Models: m.Models,
 		})
 	}
 	return out
 }
 
-// merge folds a remote view into the membership: per node id the higher
-// heartbeat wins; an advance stamps lastAdvance with the LOCAL clock (the
-// liveness reference). Self is authoritative locally and never merged.
+// merge folds a remote view into the membership: per node id a higher
+// incarnation (Gen, one per process boot) wins outright, and within an
+// incarnation the higher heartbeat wins; an advance stamps lastAdvance with
+// the LOCAL clock (the liveness reference). Incarnation-first ordering is
+// what lets a restarted node — heartbeat back at 1 while peers remember its
+// old high counter — rejoin within a gossip round instead of having to
+// outrun its previous uptime. Self is authoritative locally and never
+// merged.
 func (n *Node) merge(nodes []wireState) {
 	now := time.Now()
 	n.mu.Lock()
@@ -162,14 +182,19 @@ func (n *Node) merge(nodes []wireState) {
 			n.members[ws.ID] = m
 			n.cfg.Logger.Info("cluster member joined", "node", n.cfg.NodeID, "peer", ws.ID, "addr", ws.Addr)
 		}
-		if ws.Heartbeat > m.Heartbeat {
-			m.Heartbeat = ws.Heartbeat
-			m.Addr = ws.Addr
-			m.Load = ws.Load
-			m.Models = ws.Models
-			m.lastAdvance = now
-			m.score.heard(now)
+		if ws.Gen < m.Gen || (ws.Gen == m.Gen && ws.Heartbeat <= m.Heartbeat) {
+			continue
 		}
+		if ok && ws.Gen > m.Gen && m.Gen > 0 {
+			n.cfg.Logger.Info("cluster member restarted", "node", n.cfg.NodeID, "peer", ws.ID, "addr", ws.Addr)
+		}
+		m.Gen = ws.Gen
+		m.Heartbeat = ws.Heartbeat
+		m.Addr = ws.Addr
+		m.Load = ws.Load
+		m.Models = ws.Models
+		m.lastAdvance = now
+		m.score.heard(now)
 	}
 }
 
