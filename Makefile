@@ -5,7 +5,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X mobiledl/internal/version.Version=$(VERSION)"
 
-.PHONY: all build test race vet lint loadcheck tracecheck crashcheck cluster-up cluster-check fmt docs-check cover bench serve-bench bench-json
+.PHONY: all build test race vet lint loadcheck tracecheck crashcheck simcheck sim-full cluster-up cluster-check fmt docs-check cover bench serve-bench bench-json
 
 all: build test vet
 
@@ -23,7 +23,7 @@ test:
 race:
 	$(GO) test -race ./internal/serve/... ./internal/fedserve/... ./internal/metrics/... \
 		./internal/store/... ./internal/cluster/... ./cmd/mobiledlserve/... \
-		./internal/federated/... ./internal/privacy/... \
+		./internal/federated/... ./internal/privacy/... ./internal/sim/... \
 		./internal/tensor/... ./internal/nn/... ./internal/split/...
 
 vet:
@@ -64,6 +64,23 @@ crashcheck:
 	$(GO) test -race ./internal/store/...
 	$(GO) test -race -run 'Crash|KillRecover|Failpoint|Torn|Degrad|Recover|Resume|Backup|Checkpoint|Restart|Shutdown' \
 		./internal/serve/... ./internal/fedserve/... ./cmd/mobiledlserve/...
+
+# Scenario-simulation drill: the full named-scenario matrix (baseline,
+# 30% dropout, 10% poisoned, clock skew, diurnal burst) at 100k virtual
+# clients under the race detector, plus the selector and scrape-helper
+# suites the harness leans on. The committed SIMBENCH_*.md files come from
+# the heavier sim-full target below.
+simcheck:
+	MOBILEDL_SIMCHECK=1 $(GO) test -race ./internal/sim/...
+	$(GO) test -race -run 'Selector|Scrape|ParseProm|Quantile' \
+		./internal/fedserve/... ./internal/metrics/...
+
+# Full-scale scenario benchmark: every named scenario at 500k virtual
+# clients through cmd/fedsim, writing the dated SIMBENCH report that gets
+# committed alongside the PR.
+sim-full:
+	$(GO) run ./cmd/fedsim -full -out SIMBENCH_$$(date -u +%Y-%m-%d).md
+	@ls -l SIMBENCH_*.md
 
 # Boot a local 3-node cluster (consistent-hash sharded demo models, gossip
 # membership, transparent forwarding) and leave it running for interactive

@@ -1,0 +1,155 @@
+// Command fedsim runs million-client federated serving scenarios: a
+// simulated heterogeneous population (churn, stragglers, clock skew,
+// adversaries) trains through a real coordinator while a diurnal traffic
+// generator replays load against the live serving stack and judges SLOs
+// from /metrics.
+//
+//	fedsim                          # every named scenario, default scale
+//	fedsim -scenario poisoned10     # one scenario
+//	fedsim -full                    # full-scale benchmark (500k clients)
+//	fedsim -clients 1000000         # explicit population size
+//	fedsim -out SIMBENCH.md         # write the markdown report to a file
+//	fedsim -replay-targets http://n1:8080,http://n2:8080 \
+//	       -replay-model fedmlp -replay-dim 64             # cluster mode
+//	fedsim -list                    # scenario ids
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"mobiledl/internal/sim"
+)
+
+// fullClients is the population the -full benchmark runs (the committed
+// SIMBENCH report's scale).
+const fullClients = 500_000
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fedsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scenario = flag.String("scenario", "", "scenario id to run (default: all)")
+		clients  = flag.Int("clients", 0, "population size override (0 = scenario default)")
+		rounds   = flag.Int("rounds", 0, "round-count override")
+		seed     = flag.Int64("seed", 0, "scenario seed override")
+		workers  = flag.Int("workers", 0, "coordinator worker pool (0 = GOMAXPROCS)")
+		full     = flag.Bool("full", false, fmt.Sprintf("full-scale benchmark (%d clients)", fullClients))
+		targets  = flag.String("replay-targets", "", "comma-separated base URLs to replay against (cluster mode)")
+		rmodel   = flag.String("replay-model", "", "model name the cluster-mode replay posts (default: sim)")
+		rdim     = flag.Int("replay-dim", 0, "feature width for the cluster-mode replay (default: the sim model's)")
+		out      = flag.String("out", "", "write the markdown report here (default stdout)")
+		date     = flag.String("date", "", "date stamp for the report header (default today)")
+		list     = flag.Bool("list", false, "list scenario ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range sim.Scenarios() {
+			fmt.Printf("%-14s clients=%d rounds=%d replay=%v\n",
+				sc.Name, defaulted(sc.Clients, 20000), defaulted(sc.Rounds, 8), sc.Replay != nil)
+		}
+		return nil
+	}
+
+	var scenarios []sim.Scenario
+	if *scenario == "" {
+		scenarios = sim.Scenarios()
+	} else {
+		sc, err := sim.ByName(*scenario)
+		if err != nil {
+			return err
+		}
+		scenarios = []sim.Scenario{sc}
+	}
+
+	opts := sim.Options{Workers: *workers, ReplayModel: *rmodel, ReplayDim: *rdim}
+	if *targets != "" {
+		for _, tgt := range strings.Split(*targets, ",") {
+			if tgt = strings.TrimSpace(tgt); tgt != "" {
+				opts.ReplayTargets = append(opts.ReplayTargets, tgt)
+			}
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var results []*sim.Result
+	for _, sc := range scenarios {
+		if *full {
+			sc.Clients = fullClients
+		}
+		if *clients > 0 {
+			sc.Clients = *clients
+		}
+		if *rounds > 0 {
+			sc.Rounds = *rounds
+		}
+		if *seed != 0 {
+			sc.Seed = *seed
+		}
+		fmt.Fprintf(os.Stderr, "fedsim: running %s (%d clients)...\n", sc.Name, defaulted(sc.Clients, 20000))
+		began := time.Now()
+		r, err := sim.Run(ctx, sc, opts)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		fmt.Fprintf(os.Stderr, "fedsim: %s done in %s (%d rounds, best acc %.4f)\n",
+			sc.Name, time.Since(began).Round(time.Millisecond), r.Rounds, r.BestAccuracy)
+		results = append(results, r)
+	}
+
+	meta := sim.RunMeta{Date: *date, Full: *full, Workers: *workers}
+	if meta.Date == "" {
+		meta.Date = time.Now().Format("2006-01-02")
+	}
+	if meta.Workers == 0 {
+		meta.Workers = runtime.GOMAXPROCS(0)
+	}
+	if host, err := os.Hostname(); err == nil {
+		meta.Host = host
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	sim.WriteReport(w, meta, results)
+
+	// A full-scale run is also a gate: exit nonzero if any SLO failed or a
+	// scenario fell apart, so CI can call fedsim directly.
+	for _, r := range results {
+		for _, rep := range r.Replay {
+			if rep != nil && !rep.SLOPass {
+				return fmt.Errorf("scenario %s violated its SLO: %v", r.Scenario.Name, rep.Violations)
+			}
+		}
+	}
+	return nil
+}
+
+// defaulted renders a zero "use the default" knob as its effective value.
+func defaulted(v, def int) int {
+	if v <= 0 {
+		return def
+	}
+	return v
+}

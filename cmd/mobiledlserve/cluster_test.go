@@ -4,9 +4,10 @@ import (
 	"bytes"
 	"fmt"
 	"net/http"
-	"strings"
 	"testing"
 	"time"
+
+	"mobiledl/internal/metrics"
 )
 
 // clusterState mirrors the /v1/cluster/state payload shape this test needs.
@@ -104,17 +105,15 @@ func TestClusterThreeNodeEndToEnd(t *testing.T) {
 	resp.Body.Close()
 
 	// The router's /metrics shows cluster families with forward traffic.
-	mresp, err := http.Get(n3.url("/metrics"))
+	scrape, err := metrics.ScrapeURL(n3.url("/metrics"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var mbuf bytes.Buffer
-	_, _ = mbuf.ReadFrom(mresp.Body)
-	mresp.Body.Close()
-	for _, want := range []string{"mobiledl_cluster_peers", "mobiledl_cluster_forwards_total"} {
-		if !strings.Contains(mbuf.String(), want) {
-			t.Fatalf("router /metrics missing %s", want)
-		}
+	if _, ok := scrape.Value("mobiledl_cluster_peers"); !ok {
+		t.Fatal("router /metrics missing mobiledl_cluster_peers")
+	}
+	if fwd := scrape.Sum("mobiledl_cluster_forwards_total"); fwd < 1 {
+		t.Fatalf("router /metrics counts %v forwards, want >= 1", fwd)
 	}
 
 	// Kill the mlp holder. The survivors keep forest servable; mlp (whose

@@ -74,16 +74,33 @@ type Config struct {
 	Rounds int
 	// ClientFraction samples the eligible cohort each round (default 1).
 	ClientFraction float64
-	LocalEpochs    int // default 1
-	LocalBatch     int
-	LocalLR        float64
-	Seed           int64
+	// Cohort, when positive, fixes the round cohort size instead of
+	// ClientFraction — the natural knob when the population is huge and the
+	// eligible count swings round to round (scenario simulation).
+	Cohort      int
+	LocalEpochs int // default 1
+	LocalBatch  int
+	LocalLR     float64
+	Seed        int64
 	// Workers sizes the client-training pool (0 = GOMAXPROCS).
 	Workers int
 	// Scheduler, if non-nil, gates device eligibility per round.
 	Scheduler *federated.Scheduler
+	// Eligible, if non-nil, additionally gates per-(round, client)
+	// eligibility — the client-injection seam simulators use for diurnal
+	// participation curves and clock-skewed populations. It is consulted on
+	// the driver goroutine for every non-busy client each round, so it must
+	// be cheap and must not block.
+	Eligible func(round, k int) bool
 	// Trainer overrides the default SGDTrainer built from the Local* knobs.
+	// A Trainer that also implements federated.ClientTrainer receives the
+	// round and client index with each call (pluggable client behavior).
 	Trainer federated.Trainer
+	// Selector, if non-nil, owns cohort selection and per-client merge
+	// weighting — e.g. a ScoredSelector that down-weights clients whose
+	// updates fail, arrive stale, or deviate anomalously in magnitude. Nil
+	// keeps the default uniform selection and pure n_k staleness weighting.
+	Selector ClientSelector
 
 	// Quorum is the fraction of each round's dispatched cohort the round
 	// waits for before merging (default 1 = synchronous barrier, which makes
@@ -147,6 +164,8 @@ func (c *Config) validate() error {
 		return fmt.Errorf("%w: Rounds=%d", ErrConfig, c.Rounds)
 	case c.ClientFraction < 0 || c.ClientFraction > 1:
 		return fmt.Errorf("%w: ClientFraction=%v", ErrConfig, c.ClientFraction)
+	case c.Cohort < 0:
+		return fmt.Errorf("%w: Cohort=%d", ErrConfig, c.Cohort)
 	case c.Quorum < 0 || c.Quorum > 1:
 		return fmt.Errorf("%w: Quorum=%v", ErrConfig, c.Quorum)
 	case c.Trainer == nil && c.LocalLR <= 0:
@@ -255,12 +274,15 @@ func (s *baseSnap) release() {
 type Coordinator struct {
 	cfg     Config
 	trainer federated.Trainer
-	global  *nn.Sequential
-	vals    []*tensor.Matrix
-	eval    func(*nn.Sequential) (float64, error)
-	rng     *rand.Rand
-	acct    *privacy.MomentsAccountant
-	dpDenom float64
+	// perClient is non-nil when trainer also implements the identity-aware
+	// federated.ClientTrainer seam.
+	perClient federated.ClientTrainer
+	global    *nn.Sequential
+	vals      []*tensor.Matrix
+	eval      func(*nn.Sequential) (float64, error)
+	rng       *rand.Rand
+	acct      *privacy.MomentsAccountant
+	dpDenom   float64
 
 	paramBytes int64
 	evalEvery  int
@@ -349,6 +371,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		busy:       make(map[int]bool),
 		state:      StateIdle,
 	}
+	c.perClient, _ = trainer.(federated.ClientTrainer)
 	if c.logger == nil {
 		c.logger = slog.Default()
 	}
@@ -508,7 +531,13 @@ func (c *Coordinator) trainOne(j job) (d done) {
 	defer j.base.release()
 	d = done{round: j.round, k: j.k, start: time.Now()}
 	defer func() { d.end = time.Now() }()
-	res, err := c.trainer.TrainClient(c.cfg.Shards[j.k], j.base.vals, j.seed)
+	var res federated.ClientResult
+	var err error
+	if c.perClient != nil {
+		res, err = c.perClient.TrainRoundClient(j.round, j.k, c.cfg.Shards[j.k], j.base.vals, j.seed)
+	} else {
+		res, err = c.trainer.TrainClient(c.cfg.Shards[j.k], j.base.vals, j.seed)
+	}
 	if err != nil {
 		d.err = err
 		return d
@@ -669,6 +698,9 @@ func (c *Coordinator) dispatch(round int) int {
 		if c.cfg.Scheduler != nil && !c.cfg.Scheduler.Eligible(k) {
 			continue
 		}
+		if c.cfg.Eligible != nil && !c.cfg.Eligible(round, k) {
+			continue
+		}
 		eligible = append(eligible, k)
 	}
 	if c.cfg.Scheduler != nil {
@@ -678,11 +710,25 @@ func (c *Coordinator) dispatch(round int) int {
 		return 0
 	}
 	m := int(c.cfg.ClientFraction * float64(len(eligible)))
+	if c.cfg.Cohort > 0 {
+		m = c.cfg.Cohort
+	}
 	if m < 1 {
 		m = 1
 	}
-	c.rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
-	selected := eligible[:m]
+	if m > len(eligible) {
+		m = len(eligible)
+	}
+	var selected []int
+	if c.cfg.Selector != nil {
+		selected = c.cfg.Selector.Pick(c.rng, eligible, m)
+		if len(selected) == 0 {
+			return 0
+		}
+	} else {
+		c.rng.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+		selected = eligible[:m]
+	}
 	// Sort the cohort so job order (and each client's seed) is a function of
 	// the selection set alone, then pre-draw seeds before any concurrency.
 	sort.Ints(selected)
@@ -723,17 +769,33 @@ func (c *Coordinator) merge(round int, collected []done) {
 	var merged []done
 	var failed, dropped int
 	var lastErr error
+	var outcomes []ClientOutcome
+	if c.cfg.Selector != nil {
+		outcomes = make([]ClientOutcome, 0, len(collected))
+	}
 	for _, d := range collected {
+		out := ClientOutcome{Client: d.k, Round: d.round, Collected: round, Samples: d.n, Loss: d.loss}
 		switch {
 		case d.err != nil:
 			failed++
+			out.Failed = true
 			lastErr = fmt.Errorf("client %d (round %d): %w", d.k, d.round, d.err)
 		case round-d.round > c.staleMax:
 			dropped++
+			out.DroppedStale = true
 			putDeltas(d)
 		default:
+			out.DeltaNorm = jointNorm(d.delta)
 			merged = append(merged, d)
 		}
+		if outcomes != nil {
+			outcomes = append(outcomes, out)
+		}
+	}
+	// Feed the selector before merging, so an update flagged anomalous this
+	// round is down-weighted in this round's own merge.
+	if c.cfg.Selector != nil {
+		c.cfg.Selector.ObserveRound(outcomes)
 	}
 
 	var roundLoss float64
@@ -815,15 +877,32 @@ func (c *Coordinator) dpDelta() float64 {
 	return 1e-5
 }
 
+// jointNorm is the joint L2 norm of a parameter delta (the magnitude signal
+// anomaly-scoring selectors judge updates by).
+func jointNorm(delta []*tensor.Matrix) float64 {
+	var sq float64
+	for _, m := range delta {
+		n := m.FrobeniusNorm()
+		sq += n * n
+	}
+	return math.Sqrt(sq)
+}
+
 // mergeWeighted applies global += sum_k (w_k / W) delta_k with
 // w_k = n_k * decay^staleness — the FedAvg server step generalized to
 // stale deltas (for a synchronous round it is exactly the n_k/n weighted
-// average RunFedAvg computes). Returns the weighted mean client loss.
+// average RunFedAvg computes). A configured Selector further multiplies
+// each client's weight by its reputation (ClientSelector.Weight), so
+// flagged clients contribute proportionally less. Returns the weighted
+// mean client loss.
 func (c *Coordinator) mergeWeighted(round int, merged []done) (float64, error) {
 	var totalW, totalN, loss float64
 	weights := make([]float64, len(merged))
 	for i, d := range merged {
 		w := float64(d.n) * math.Pow(c.decay, float64(round-d.round))
+		if c.cfg.Selector != nil {
+			w *= c.cfg.Selector.Weight(d.k)
+		}
 		weights[i] = w
 		totalW += w
 		totalN += float64(d.n)

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"mobiledl/internal/metrics"
 	"mobiledl/internal/nn"
 	"mobiledl/internal/tensor"
 )
@@ -364,10 +365,15 @@ func TestServerOverloadIs429AndMetered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(text), `mobiledl_requests_shed_total{model="block"} 1`) {
-		t.Fatalf("/metrics missing the shed count:\n%s", text)
+	scrape, err := metrics.ParseProm(string(text))
+	if err != nil {
+		t.Fatalf("/metrics payload unparseable: %v\n%s", err, text)
 	}
-	if !strings.Contains(string(text), "# TYPE mobiledl_request_latency_ms histogram") {
+	shed, ok := scrape.Value("mobiledl_requests_shed_total", metrics.Label{Name: "model", Value: "block"})
+	if !ok || shed != 1 {
+		t.Fatalf("/metrics shed count = %v (found %v), want 1:\n%s", shed, ok, text)
+	}
+	if scrape.Type("mobiledl_request_latency_ms") != "histogram" {
 		t.Fatal("/metrics missing the latency histogram family")
 	}
 	srv.Close()

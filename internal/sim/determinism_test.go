@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestDeterminismAcrossWorkerCounts is the determinism regression: the same
+// seed and scenario must produce bit-identical round outcomes — per-round
+// stats AND the final published model bytes — no matter how many workers
+// train clients in parallel, even with every fault class active (dropout,
+// poisoning, stale bases, stragglers, scored selection). That is the
+// property that makes simulated incidents replayable.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	sc := Scenario{
+		Name: "determinism", Seed: 7,
+		Clients: 3000, Archetypes: 16,
+		Rounds: 5, Cohort: 32,
+		StragglerFrac: 0.3, DropoutRate: 0.2, PoisonFrac: 0.1, StaleFrac: 0.2,
+		Scored: true,
+	}
+	run := func(workers int) *Result {
+		t.Helper()
+		r, err := Run(context.Background(), sc, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return r
+	}
+	ref := run(1)
+	if len(ref.ModelCheckpoint) == 0 {
+		t.Fatal("reference run produced no model checkpoint")
+	}
+	for _, workers := range []int{4, 7} {
+		got := run(workers)
+		// History carries every per-round stat (loss, accuracy, bytes,
+		// participants); compare via formatting so NaN == NaN.
+		if want, have := fmt.Sprintf("%v", ref.History), fmt.Sprintf("%v", got.History); want != have {
+			t.Fatalf("workers=%d diverged in round history:\nworkers=1: %s\nworkers=%d: %s",
+				workers, want, workers, have)
+		}
+		if !bytes.Equal(ref.ModelCheckpoint, got.ModelCheckpoint) {
+			t.Fatalf("workers=%d produced different published model bytes", workers)
+		}
+		if ref.FailedClients != got.FailedClients || ref.MergedUpdates != got.MergedUpdates {
+			t.Fatalf("workers=%d accounting diverged: failed %d vs %d, merged %d vs %d",
+				workers, ref.FailedClients, got.FailedClients, ref.MergedUpdates, got.MergedUpdates)
+		}
+	}
+}
+
+// TestDeterminismSameSeedTwice: re-running the identical configuration
+// reproduces itself exactly (no hidden global state between runs).
+func TestDeterminismSameSeedTwice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by the worker-count sweep")
+	}
+	sc := Dropout30()
+	sc.Clients = 2000
+	sc.Rounds = 4
+	a, err := Run(context.Background(), sc, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), sc, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.ModelCheckpoint, b.ModelCheckpoint) {
+		t.Fatal("identical runs produced different model bytes")
+	}
+}

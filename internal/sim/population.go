@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mobiledl/internal/data"
+	"mobiledl/internal/federated"
+	"mobiledl/internal/mobile"
+	"mobiledl/internal/nn"
+	"mobiledl/internal/tensor"
+)
+
+// Hash salts, one per profile dimension, so the dimensions are independent
+// draws from the same scenario seed.
+const (
+	saltDevice = iota + 1
+	saltAdversary
+	saltStale
+	saltSkewGate
+	saltSkewOffset
+	saltDropout
+)
+
+// mix64 is the splitmix64 finalizer — the stateless hash every per-client
+// profile bit derives from.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashUnit maps (seed, a, b, salt) to a uniform float64 in [0, 1).
+func hashUnit(seed int64, a, b, salt int) float64 {
+	h := mix64(uint64(seed))
+	h = mix64(h + uint64(int64(a)))
+	h = mix64(h + uint64(int64(b)))
+	h = mix64(h + uint64(int64(salt)))
+	return float64(h>>11) / (1 << 53)
+}
+
+// Profile is one virtual client's hashed identity: everything the simulator
+// needs to know about client k, computed on demand and never stored — the
+// trick that keeps a million-client population at one slice entry per client.
+type Profile struct {
+	// Straggler clients run midrange hardware; others flagship.
+	Straggler bool
+	Device    mobile.Device
+	// Adversarial clients submit model-replacement updates.
+	Adversarial bool
+	// Stale clients train from the previous round's global weights.
+	Stale bool
+	// SkewHours shifts the client's local clock (0 = coordinator time).
+	SkewHours float64
+}
+
+// Population is the materialized scenario substrate: the aliased shard
+// slice the coordinator trains over, the held-out eval set, and the model
+// factory — plus the per-device simulated training costs derived from
+// mobile.WorkloadFor.
+type Population struct {
+	sc      Scenario
+	Shards  []*data.ClientShard
+	Classes int
+	EvalX   *tensor.Matrix
+	EvalY   []int
+	Factory federated.ModelFactory
+
+	// TrainCostMs is the simulated per-round local-training latency for
+	// [flagship, midrange] devices (compute only, per WorkloadFor +
+	// EvaluateLocal, scaled by local samples and epochs).
+	TrainCostMs [2]float64
+}
+
+// Benchmark dataset shape shared by every scenario: a 4-class, 8-dim
+// synthetic task sharded non-IID across the archetypes.
+const (
+	benchSamples = 2400
+	benchClasses = 4
+	benchDim     = 8
+	hiddenDim    = 16
+)
+
+// BuildPopulation materializes a scenario's client population: Clients
+// virtual clients aliasing Archetypes real non-IID shards, profiles hashed
+// from the scenario seed.
+func BuildPopulation(sc Scenario) (*Population, error) {
+	sc.fill()
+	fb, err := data.GenerateFedBench(data.FedBenchConfig{
+		Samples: benchSamples, Classes: benchClasses, Dim: benchDim, Seed: sc.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: generate benchmark: %w", err)
+	}
+	trX, trY, teX, teY, err := fb.Split(0.8)
+	if err != nil {
+		return nil, err
+	}
+	arch, err := data.ShardNonIID(rand.New(rand.NewSource(sc.Seed+1)), trX, trY, sc.Archetypes)
+	if err != nil {
+		return nil, fmt.Errorf("sim: shard archetypes: %w", err)
+	}
+	// The virtual population: client k trains archetype k mod Archetypes's
+	// data. A slice of aliased pointers is the entire per-client footprint.
+	shards := make([]*data.ClientShard, sc.Clients)
+	for k := range shards {
+		shards[k] = arch[k%len(arch)]
+	}
+	factory := func() (*nn.Sequential, error) {
+		r := rand.New(rand.NewSource(42))
+		return nn.NewSequential(
+			nn.NewDense(r, benchDim, hiddenDim),
+			nn.NewReLU(),
+			nn.NewDense(r, hiddenDim, benchClasses),
+		), nil
+	}
+	p := &Population{
+		sc: sc, Shards: shards, Classes: benchClasses,
+		EvalX: teX, EvalY: teY, Factory: factory,
+	}
+
+	// Simulated local-training cost per device class: one inference's MACs
+	// (mobile.WorkloadFor) costed on the device, scaled to a round's worth
+	// of work (forward+backward ~ 3x inference, per sample, per epoch).
+	full, err := factory()
+	if err != nil {
+		return nil, err
+	}
+	w := mobile.WorkloadFor(full, nil, benchDim, benchClasses, 0)
+	perShard := float64(trX.Rows()) / float64(sc.Archetypes)
+	roundMACs := 3 * perShard * float64(sc.LocalEpochs)
+	for i, dev := range []mobile.Device{mobile.FlagshipPhone(), mobile.MidrangePhone()} {
+		p.TrainCostMs[i] = mobile.EvaluateLocal(dev, w).LatencyMs * roundMACs
+	}
+	return p, nil
+}
+
+// Profile computes client k's hashed identity.
+func (p *Population) Profile(k int) Profile {
+	sc := &p.sc
+	pr := Profile{
+		Straggler:   hashUnit(sc.Seed, k, 0, saltDevice) < sc.StragglerFrac,
+		Adversarial: hashUnit(sc.Seed, k, 0, saltAdversary) < sc.PoisonFrac,
+		Stale:       hashUnit(sc.Seed, k, 0, saltStale) < sc.StaleFrac,
+	}
+	if pr.Straggler {
+		pr.Device = mobile.MidrangePhone()
+	} else {
+		pr.Device = mobile.FlagshipPhone()
+	}
+	if sc.SkewFrac > 0 && hashUnit(sc.Seed, k, 0, saltSkewGate) < sc.SkewFrac {
+		pr.SkewHours = 24 * hashUnit(sc.Seed, k, 0, saltSkewOffset)
+	}
+	return pr
+}
+
+// droppedOut reports whether client k vanishes in the given round
+// (deterministic per-(round, client) churn).
+func (p *Population) droppedOut(round, k int) bool {
+	return p.sc.DropoutRate > 0 && hashUnit(p.sc.Seed, round, k, saltDropout) < p.sc.DropoutRate
+}
+
+// localHour is client k's local time-of-day in round r.
+func (p *Population) localHour(round, k int) float64 {
+	return math.Mod(float64(round)*p.sc.HoursPerRound+p.Profile(k).SkewHours, 24)
+}
+
+// Eligible is the coordinator's per-(round, client) participation gate:
+// diurnal populations only contribute while their local clock is awake
+// (06:00-24:00). Non-diurnal scenarios admit everyone.
+func (p *Population) Eligible(round, k int) bool {
+	if !p.sc.Diurnal {
+		return true
+	}
+	return p.localHour(round, k) >= 6
+}

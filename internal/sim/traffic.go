@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"mobiledl/internal/metrics"
+)
+
+// ReplayOutcome is what one diurnal traffic replay observed: the client-side
+// status mix and the server-side SLO verdict computed from /metrics deltas
+// across the replay window.
+type ReplayOutcome struct {
+	// Sent counts requests dispatched; Skipped counts arrivals dropped
+	// client-side because every replay worker was busy (closed-loop
+	// backpressure, not a server fault).
+	Sent    int
+	Skipped int
+	// Statuses maps HTTP status -> count (0 = transport error).
+	Statuses map[int]int
+
+	// Server-observed deltas over the replay window, from /metrics.
+	Attempts  float64
+	P99Ms     float64
+	ShedRate  float64
+	ErrorRate float64
+
+	SLOPass    bool
+	Violations []string
+}
+
+// replayConfig wires one replay: the target server, the model to query, one
+// feature row to send, and the spec.
+type replayConfig struct {
+	BaseURL  string
+	Model    string
+	Features []float64
+	Spec     ReplaySpec
+	// OnScrape, if non-nil, receives a mid-replay /metrics scrape (taken
+	// once, about halfway through) — the hook overload tests use to assert
+	// shed counters are moving while the burst is live.
+	OnScrape func(*metrics.Scrape)
+}
+
+// diurnalRate is the compressed-day request rate at elapsed fraction
+// x in [0, 1]: base load overnight rising to peak at "midday" (x=0.5) on a
+// sin^2 curve.
+func diurnalRate(spec *ReplaySpec, x float64) float64 {
+	s := math.Sin(math.Pi * x)
+	return spec.BaseRPS + (spec.PeakRPS-spec.BaseRPS)*s*s
+}
+
+// runReplay replays the diurnal curve against POST {base}/v1/predict and
+// judges the spec's SLO from the /metrics deltas bracketing the replay.
+// Arrivals are open-loop (paced by the curve, not by responses) up to the
+// worker cap; the server's own shedding is the backpressure under test.
+func runReplay(ctx context.Context, cfg replayConfig) (*ReplayOutcome, error) {
+	spec := cfg.Spec
+	spec.fill()
+	start, err := metrics.ScrapeURL(cfg.BaseURL + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("sim: pre-replay scrape: %w", err)
+	}
+
+	body, err := predictBody(cfg.Model, cfg.Features, spec.TimeoutMs)
+	if err != nil {
+		return nil, err
+	}
+	out := &ReplayOutcome{Statuses: make(map[int]int)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	jobs := make(chan struct{}, spec.Workers)
+	client := &http.Client{}
+	for i := 0; i < spec.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+				status := 0
+				req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+					cfg.BaseURL+"/v1/predict", bytes.NewReader(body))
+				req.Header.Set("Content-Type", "application/json")
+				if resp, err := client.Do(req); err == nil {
+					status = resp.StatusCode
+					resp.Body.Close()
+				}
+				mu.Lock()
+				out.Statuses[status]++
+				mu.Unlock()
+			}
+		}()
+	}
+
+	began := time.Now()
+	scraped := false
+	for {
+		elapsed := time.Since(began)
+		if elapsed >= spec.Duration || ctx.Err() != nil {
+			break
+		}
+		if !scraped && elapsed >= spec.Duration/2 {
+			scraped = true
+			if cfg.OnScrape != nil {
+				if mid, err := metrics.ScrapeURL(cfg.BaseURL + "/metrics"); err == nil {
+					cfg.OnScrape(mid)
+				}
+			}
+		}
+		rate := diurnalRate(&spec, float64(elapsed)/float64(spec.Duration))
+		select {
+		case jobs <- struct{}{}:
+			out.Sent++
+		default:
+			out.Skipped++
+		}
+		time.Sleep(time.Duration(float64(time.Second) / rate))
+	}
+	close(jobs)
+	wg.Wait()
+
+	end, err := metrics.ScrapeURL(cfg.BaseURL + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("sim: post-replay scrape: %w", err)
+	}
+	judgeSLO(out, &spec.SLO, start, end)
+	return out, nil
+}
+
+// predictBody marshals the /v1/predict payload once; every replay request
+// reuses it.
+func predictBody(model string, features []float64, timeoutMs int) ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteString(fmt.Sprintf(`{"model":%q,"features":[[`, model))
+	for i, f := range features {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%g", f)
+	}
+	b.WriteString("]]")
+	if timeoutMs > 0 {
+		fmt.Fprintf(&b, `,"timeout_ms":%d`, timeoutMs)
+	}
+	b.WriteString("}")
+	return b.Bytes(), nil
+}
+
+// judgeSLO fills the outcome's server-observed fields and verdict from the
+// start/end scrape deltas. Latency quantiles come from the histogram bucket
+// deltas (the window's own distribution, not lifetime), exactly what
+// metrics.BucketQuantile exists for.
+func judgeSLO(out *ReplayOutcome, slo *SLO, start, end *metrics.Scrape) {
+	delta := func(name string) float64 { return end.Sum(name) - start.Sum(name) }
+	served := delta("mobiledl_requests_total")
+	shed := delta("mobiledl_requests_shed_total")
+	expired := delta("mobiledl_requests_expired_total")
+	errs := delta("mobiledl_request_errors_total")
+	out.Attempts = served + shed + expired + errs
+	if out.Attempts <= 0 {
+		out.SLOPass = false
+		out.Violations = append(out.Violations, "no server-observed traffic in the replay window")
+		return
+	}
+	out.ShedRate = shed / out.Attempts
+	out.ErrorRate = (expired + errs) / out.Attempts
+
+	b0, c0 := start.HistogramBuckets("mobiledl_request_latency_ms")
+	b1, c1 := end.HistogramBuckets("mobiledl_request_latency_ms")
+	if len(b1) > 0 && len(b0) == len(b1) {
+		dc := make([]float64, len(c1))
+		for i := range c1 {
+			dc[i] = c1[i] - c0[i]
+		}
+		if p99, err := metrics.BucketQuantile(0.99, b1, dc); err == nil {
+			out.P99Ms = p99
+		}
+	}
+
+	out.SLOPass = true
+	violate := func(format string, args ...any) {
+		out.SLOPass = false
+		out.Violations = append(out.Violations, fmt.Sprintf(format, args...))
+	}
+	if slo.P99Ms > 0 && out.P99Ms > slo.P99Ms {
+		violate("p99 latency %.1fms > %.1fms", out.P99Ms, slo.P99Ms)
+	}
+	if out.ShedRate > slo.MaxShedRate {
+		violate("shed rate %.4f > %.4f", out.ShedRate, slo.MaxShedRate)
+	}
+	if out.ErrorRate > slo.MaxErrorRate {
+		violate("error rate %.4f > %.4f", out.ErrorRate, slo.MaxErrorRate)
+	}
+}
