@@ -5,7 +5,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X mobiledl/internal/version.Version=$(VERSION)"
 
-.PHONY: all build test race vet lint loadcheck tracecheck crashcheck simcheck sim-full cluster-up cluster-check fmt docs-check cover bench serve-bench bench-json
+.PHONY: all build test race vet lint analyze loadcheck tracecheck crashcheck simcheck sim-full cluster-up cluster-check fmt docs-check cover bench serve-bench bench-json
 
 all: build test vet
 
@@ -29,14 +29,26 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Static analysis beyond vet. CI installs staticcheck; locally the target
-# degrades to a notice instead of failing on a missing binary.
+# Static analysis beyond vet. CI installs staticcheck (pinned) and runs with
+# STRICT_LINT=1 so a missing binary fails the job; locally the target
+# degrades to a notice instead of failing.
 lint: vet
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
+	elif [ "$(STRICT_LINT)" = "1" ]; then \
+		echo "STRICT_LINT=1 but staticcheck is not installed" >&2; exit 1; \
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
+
+# Project-specific invariant suite (tools/analyzers): pool balance,
+# determinism (no wall clock / global rand in sim+federated+fedserve),
+# context propagation on the serving hot path, and /metrics naming. The
+# tools module is separate so the main module stays zero-dependency; its
+# own tests run via `go -C tools/analyzers test ./...`.
+analyze:
+	$(GO) -C tools/analyzers run ./cmd/analyze \
+		-dir $(CURDIR) -nowallclock.allowlist $(CURDIR)/.nowallclock-allow ./...
 
 # Overload/deadline drill: the admission-control, cancellation, and drain
 # tests under the race detector — the serving runtime's survival story.
@@ -109,11 +121,14 @@ fmt:
 	gofmt -l -w .
 
 # Docs gate (CI docs job): every inline relative markdown link must resolve
-# and the tree must be gofmt-clean. gofmt -l prints offenders without
-# rewriting; the shell check turns a non-empty listing into a failing exit.
+# and the tree must be gofmt-clean — including the tools/analyzers module,
+# which gofmt -l . reaches by path and vet needs a -C for. gofmt -l prints
+# offenders without rewriting; the shell check turns a non-empty listing
+# into a failing exit.
 docs-check:
 	$(GO) run ./cmd/docscheck
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	$(GO) -C tools/analyzers vet ./...
 
 # Full benchmark sweep (paper artifacts + substrate micro-benches).
 bench:

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"mobiledl/internal/leakcheck"
 	"mobiledl/internal/metrics"
 	"mobiledl/internal/trace"
 )
@@ -398,6 +399,7 @@ func TestLocalOverflowSpillsToReplica(t *testing.T) {
 // TestStatusTransitions walks solo -> joining -> ok -> partitioned on real
 // gossiping nodes.
 func TestStatusTransitions(t *testing.T) {
+	leakcheck.Check(t)
 	solo := startTestNode(t, "solo", staticInventory("m"), fakeServe("solo", 1), nil)
 	if got := solo.n.Status(); got != StatusSolo {
 		t.Fatalf("no-peer node status = %q, want %q", got, StatusSolo)
@@ -644,6 +646,7 @@ func TestRestartedNodeRejoins(t *testing.T) {
 // back at 1) and node-a must route to the new instance promptly, not after
 // the new heartbeat outruns the old one.
 func TestRestartedNodeRejoinsOverGossip(t *testing.T) {
+	leakcheck.Check(t)
 	a := startTestNode(t, "node-a", staticInventory("m1"), fakeServe("node-a", 1), func(c *Config) {
 		c.GossipInterval = 25 * time.Millisecond
 		c.SuspectAfter = 150 * time.Millisecond

@@ -12,6 +12,7 @@ import (
 
 	"mobiledl/internal/data"
 	"mobiledl/internal/federated"
+	"mobiledl/internal/leakcheck"
 	"mobiledl/internal/nn"
 	"mobiledl/internal/serve"
 	"mobiledl/internal/tensor"
@@ -280,6 +281,7 @@ func TestCoordinatorDPReportsEpsilon(t *testing.T) {
 }
 
 func TestCoordinatorPauseResumeStop(t *testing.T) {
+	leakcheck.Check(t)
 	tk := newTask(t, 4, true)
 	reg := serve.NewRegistry()
 	cfg := tk.config(reg, "ctl")

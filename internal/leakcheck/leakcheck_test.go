@@ -1,0 +1,65 @@
+package leakcheck
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDiffDetectsAndDrains pins both halves of the contract: a goroutine
+// parked on a channel shows up in the diff, and once released the settle
+// loop sees it drain.
+func TestDiffDetectsAndDrains(t *testing.T) {
+	before := snapshot()
+
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-block
+	}()
+
+	// The parked goroutine must register as a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if len(diff(before)) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocked goroutine never appeared in diff")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(block)
+	<-done
+	if leaked := settle(before); len(leaked) != 0 {
+		t.Fatalf("goroutine exited but settle still reports %d leaks:\n%s", len(leaked), leaked[0])
+	}
+}
+
+// TestCheckPassesOnCleanTest exercises the public entry point on a test
+// that spawns and joins a goroutine — the cleanup must stay quiet.
+func TestCheckPassesOnCleanTest(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// TestIgnorable keeps stdlib machinery off the leak report.
+func TestIgnorable(t *testing.T) {
+	rec := "goroutine 9 [IO wait]:\nnet/http.(*persistConn).readLoop(0xc0001)\n\tnet/http/transport.go:2218"
+	if !ignorable(rec) {
+		t.Error("http keep-alive reader should be ignorable")
+	}
+	if ignorable("goroutine 7 [chan receive]:\nmobiledl/internal/serve.(*Batcher).loop(...)") {
+		t.Error("application goroutines must not be ignorable")
+	}
+}
+
+// TestGoroutineID parses the record header.
+func TestGoroutineID(t *testing.T) {
+	if got := goroutineID("goroutine 42 [running]:\nmain.main()"); got != "goroutine 42" {
+		t.Errorf("goroutineID = %q, want %q", got, "goroutine 42")
+	}
+}

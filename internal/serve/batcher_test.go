@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"mobiledl/internal/leakcheck"
 	"mobiledl/internal/tensor"
 )
 
@@ -167,6 +168,7 @@ func TestBatcherSplitsMixedOptions(t *testing.T) {
 }
 
 func TestBatcherValidationAndClose(t *testing.T) {
+	leakcheck.Check(t)
 	exec := &echoExec{}
 	b, err := NewBatcher(3, BatcherConfig{MaxBatch: 2, MaxDelay: time.Millisecond}, exec.run, nil)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"mobiledl/internal/leakcheck"
 	"mobiledl/internal/metrics"
 	"mobiledl/internal/nn"
 	"mobiledl/internal/tensor"
@@ -237,6 +238,7 @@ func TestAllAbandonedGroupCancelsBackend(t *testing.T) {
 // TestCloseDrainsQueuedRequests pins graceful shutdown: requests admitted
 // before Close are answered, not dropped.
 func TestCloseDrainsQueuedRequests(t *testing.T) {
+	leakcheck.Check(t)
 	// The exec ignores its context (like the shipped backends), so Close
 	// must drain every queued request to completion. The gate holds the
 	// workers until Close has begun, so all n requests are provably still

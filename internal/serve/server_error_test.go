@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"mobiledl/internal/leakcheck"
 )
 
 // newErrorTestServer serves one dense model and returns the test server plus
@@ -129,6 +131,7 @@ func TestPredictUnknownVersionPinIs400(t *testing.T) {
 }
 
 func TestPredictAfterCloseIs503(t *testing.T) {
+	leakcheck.Check(t)
 	ts, rt := newErrorTestServer(t)
 	rt.Close()
 	body, _ := json.Marshal(PredictRequest{

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// nolintIndex maps file -> line -> set of analyzer names suppressed on that
+// line. Only directives carrying a justification count; a bare
+// `//nolint:poolbalance` is ignored so the original finding still surfaces.
+type nolintIndex struct {
+	byFile map[string]map[int]map[string]bool
+}
+
+// buildNolintIndex scans every comment in files for
+// `//nolint:name1,name2 // reason` directives. A directive on a line of its
+// own also covers the next line, matching how reviewers attach it above a
+// long statement.
+func buildNolintIndex(fset *token.FileSet, files []*ast.File) *nolintIndex {
+	idx := &nolintIndex{byFile: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		codeLines := linesWithCode(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseNolint(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				lines := idx.byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx.byFile[pos.Filename] = lines
+				}
+				cover := []int{pos.Line}
+				if !codeLines[pos.Line] {
+					// Directive-only line: it annotates the next line.
+					cover = append(cover, pos.Line+1)
+				}
+				for _, ln := range cover {
+					set := lines[ln]
+					if set == nil {
+						set = make(map[string]bool)
+						lines[ln] = set
+					}
+					for _, n := range names {
+						set[n] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// linesWithCode returns the set of lines on which some AST node (i.e. actual
+// code, not a comment) starts — used to tell an end-of-line directive from a
+// directive sitting on a line of its own.
+func linesWithCode(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, isComment := n.(*ast.Comment); isComment {
+			return false
+		}
+		if _, isGroup := n.(*ast.CommentGroup); isGroup {
+			return false
+		}
+		if n.Pos().IsValid() {
+			lines[fset.Position(n.Pos()).Line] = true
+		}
+		return true
+	})
+	return lines
+}
+
+// parseNolint extracts the analyzer names from a justified nolint directive.
+// Accepted shape: `//nolint:a,b // why this site is exempt`. Returns ok=false
+// for non-directives and for directives with an empty reason.
+func parseNolint(text string) (names []string, ok bool) {
+	const prefix = "//nolint:"
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := text[len(prefix):]
+	// Split the name list from the reason trailer.
+	cut := strings.IndexAny(rest, " \t")
+	if cut < 0 {
+		return nil, false // no reason at all
+	}
+	list, reason := rest[:cut], strings.TrimSpace(rest[cut:])
+	reason = strings.TrimPrefix(reason, "//")
+	if strings.TrimSpace(reason) == "" {
+		return nil, false // `//nolint:x //` with nothing after
+	}
+	for _, n := range strings.Split(list, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}
+
+// suppresses reports whether analyzer name is nolinted at position p.
+func (idx *nolintIndex) suppresses(name string, p token.Position) bool {
+	lines := idx.byFile[p.Filename]
+	if lines == nil {
+		return false
+	}
+	set := lines[p.Line]
+	if set == nil {
+		return false
+	}
+	return set[name] || set["all"]
+}

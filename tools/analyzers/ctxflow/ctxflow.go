@@ -1,0 +1,156 @@
+// Package ctxflow flags the context-dropping bug class PR 5 fixed by hand
+// in execGroup: a function on the serve/fedserve/cluster hot path receives
+// a context.Context but calls a context-taking callee with
+// context.Background() or context.TODO(), detaching the callee from request
+// deadlines and cancellation. Batch-lifetime contexts that aggregate many
+// request contexts are created in functions that take no ctx parameter, so
+// they are naturally out of scope; genuinely detached work inside a
+// ctx-taking function carries `//nolint:ctxflow // reason`.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mobiledl/tools/analyzers/analysis"
+)
+
+// hotPathPkgs are the serving-side packages (and subtrees) under check.
+var hotPathPkgs = []string{
+	"mobiledl/internal/serve",
+	"mobiledl/internal/fedserve",
+	"mobiledl/internal/cluster",
+}
+
+// Analyzer is the ctxflow invariant check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "flag hot-path functions that receive a context.Context but call " +
+		"a callee with context.Background()/context.TODO() instead of threading it",
+	AppliesTo: func(path string) bool {
+		for _, p := range hotPathPkgs {
+			if analysis.PathHasPrefix(path, p) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkFunc(pass, fd, fd.Body, hasCtxParam(pass, fd.Type))
+			return false
+		})
+	}
+	return nil
+}
+
+// checkFunc walks one function body. ctxAvail says whether the enclosing
+// scope (this function or a parent closure) has a context parameter; nested
+// closures inherit it and may add their own.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, body ast.Node, ctxAvail bool) {
+	name := fd.Name.Name
+	var walk func(n ast.Node, avail bool)
+	walk = func(n ast.Node, avail bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch node := m.(type) {
+			case *ast.FuncLit:
+				if node == n {
+					return true
+				}
+				walk(node.Body, avail || hasCtxParam(pass, node.Type))
+				return false
+			case *ast.CallExpr:
+				if !avail {
+					return true
+				}
+				for _, arg := range node.Args {
+					inner, ok := arg.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					which := backgroundOrTODO(pass, inner)
+					if which == "" {
+						continue
+					}
+					pass.Reportf(inner.Pos(),
+						"%s receives a context.Context but passes context.%s() to %s; thread the caller's ctx through",
+						name, which, calleeName(node))
+				}
+			}
+			return true
+		})
+	}
+	walk(body, ctxAvail)
+}
+
+// hasCtxParam reports whether ft declares a non-blank context.Context
+// parameter.
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			continue // unnamed ctx cannot be threaded anyway
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// backgroundOrTODO returns "Background" or "TODO" when call is
+// context.Background() / context.TODO(), else "".
+func backgroundOrTODO(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// isContextType matches the context.Context interface type.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// calleeName renders the called function for the message.
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "callee"
+}

@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"mobiledl/tools/analyzers/analysistest"
+	"mobiledl/tools/analyzers/ctxflow"
+)
+
+// TestCtxFlow covers detaching via Background and TODO, closure inheritance
+// of the enclosing ctx, closures declaring their own ctx, the batch-lifetime
+// no-ctx-param exemption, the nolint escape, blank ctx params, and package
+// scoping (internal/offline detaches freely with no findings).
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, nil, "./...")
+}

@@ -1,0 +1,3 @@
+module mobiledl
+
+go 1.24

@@ -1,0 +1,15 @@
+// Package offline sits outside the serve/fedserve/cluster hot path: the
+// same detach pattern produces no findings, proving the analyzer's scoping.
+package offline
+
+import "context"
+
+func load(ctx context.Context, path string) error {
+	_ = ctx
+	return nil
+}
+
+// Warm is offline tooling; detaching is fine and must not be flagged.
+func Warm(ctx context.Context, path string) error {
+	return load(context.Background(), path)
+}

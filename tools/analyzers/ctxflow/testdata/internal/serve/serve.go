@@ -1,0 +1,60 @@
+// Package serve exercises ctxflow: functions on the hot path that receive a
+// context must thread it to ctx-taking callees rather than detaching them
+// with context.Background()/context.TODO().
+package serve
+
+import "context"
+
+func fetch(ctx context.Context, key string) (string, error) {
+	_ = ctx
+	return key, nil
+}
+
+// Predict threads the caller's ctx: clean.
+func Predict(ctx context.Context, key string) (string, error) {
+	return fetch(ctx, key)
+}
+
+// Detached drops the request ctx on the floor: flagged.
+func Detached(ctx context.Context, key string) (string, error) {
+	return fetch(context.Background(), key) // want `Detached receives a context.Context but passes context.Background\(\) to fetch`
+}
+
+// Undecided punts with TODO: flagged.
+func Undecided(ctx context.Context, key string) (string, error) {
+	return fetch(context.TODO(), key) // want `Undecided receives a context.Context but passes context.TODO\(\) to fetch`
+}
+
+// NewBatchCtx takes no ctx parameter — the batch-lifetime pattern — so a
+// fresh Background context is legal here.
+func NewBatchCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	_ = cancel
+	return ctx
+}
+
+// InClosure shows closures inheriting ctx availability from the enclosing
+// function: the goroutine body still has the request ctx in scope.
+func InClosure(ctx context.Context, key string) {
+	go func() {
+		_, _ = fetch(context.Background(), key) // want `InClosure receives a context.Context but passes context.Background\(\) to fetch`
+	}()
+}
+
+// ClosureOwnCtx: the enclosing function has no ctx, but the closure declares
+// one — detaching inside the closure is still flagged.
+func ClosureOwnCtx(key string) func(context.Context) {
+	return func(ctx context.Context) {
+		_, _ = fetch(context.TODO(), key) // want `ClosureOwnCtx receives a context.Context but passes context.TODO\(\) to fetch`
+	}
+}
+
+// Audited is genuinely detached work with a reviewed justification.
+func Audited(ctx context.Context, key string) {
+	_, _ = fetch(context.Background(), key) //nolint:ctxflow // fire-and-forget audit write must outlive the request
+}
+
+// BlankCtx cannot thread a context it cannot name: clean.
+func BlankCtx(_ context.Context, key string) (string, error) {
+	return fetch(context.Background(), key)
+}

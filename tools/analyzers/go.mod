@@ -1,0 +1,3 @@
+module mobiledl/tools/analyzers
+
+go 1.24

@@ -1,0 +1,168 @@
+// Package metricname enforces the /metrics naming convention at every
+// registration site: string names passed to metrics.PromWriter's Counter,
+// Gauge, Histogram, and WriteSortedLabels must match
+// ^mobiledl_[a-z0-9_]+$ and follow the Prometheus suffix rules — counters
+// end in _total (byte counters in _bytes_total), gauges and histograms do
+// not, and nothing claims the writer-reserved _bucket/_sum/_count suffixes.
+// Names must be compile-time constants so the exported surface is greppable.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"mobiledl/tools/analyzers/analysis"
+)
+
+// metricsPath is the package defining PromWriter.
+const metricsPath = "mobiledl/internal/metrics"
+
+// nameRe is the base shape: mobiledl_ prefix, lowercase snake case, no
+// leading/trailing/double underscores.
+var nameRe = regexp.MustCompile(`^mobiledl_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+// histUnits are the unit suffixes a histogram family must end with, so the
+// series name states what the buckets measure.
+var histUnits = []string{"_ms", "_seconds", "_bytes", "_ratio"}
+
+// Analyzer is the metricname invariant check.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "metric names registered on metrics.PromWriter must match " +
+		"^mobiledl_[a-z0-9_]+$ with proper _total/_bytes suffix conventions",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == metricsPath {
+		return nil // the writer itself derives _bucket/_sum/_count internally
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method := promWriterMethod(pass, call)
+			if method == "" || len(call.Args) == 0 {
+				return true
+			}
+			name, ok := constString(pass, call.Args[0])
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name passed to PromWriter.%s must be a compile-time constant string", method)
+				return true
+			}
+			kind := strings.ToLower(method)
+			if method == "WriteSortedLabels" {
+				// Signature: (name, help, kind, labelName, values, fixed...).
+				if len(call.Args) < 3 {
+					return true
+				}
+				k, ok := constString(pass, call.Args[2])
+				if !ok {
+					pass.Reportf(call.Args[2].Pos(),
+						"metric kind passed to PromWriter.WriteSortedLabels must be a compile-time constant string")
+					return true
+				}
+				kind = k
+			}
+			for _, problem := range check(name, kind) {
+				pass.Reportf(call.Args[0].Pos(), "metric %q: %s", name, problem)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// check validates one metric family name against the conventions for its
+// kind ("counter", "gauge", "histogram").
+func check(name, kind string) []string {
+	var problems []string
+	if !nameRe.MatchString(name) {
+		problems = append(problems, "must match ^mobiledl_[a-z0-9_]+$ (mobiledl_ prefix, lowercase snake case, no double or trailing underscores)")
+		return problems // suffix rules are noise once the shape is wrong
+	}
+	for _, reserved := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, reserved) {
+			problems = append(problems, "suffix "+reserved+" is reserved for series the writer derives from histograms")
+		}
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			if strings.HasSuffix(name, "_bytes") {
+				problems = append(problems, "byte counters end in _bytes_total")
+			} else {
+				problems = append(problems, "counters end in _total")
+			}
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			problems = append(problems, "gauges must not end in _total (that suffix marks counters)")
+		}
+	case "histogram":
+		if strings.HasSuffix(name, "_total") {
+			problems = append(problems, "histograms must not end in _total (that suffix marks counters)")
+			break
+		}
+		unit := false
+		for _, u := range histUnits {
+			if strings.HasSuffix(name, u) {
+				unit = true
+				break
+			}
+		}
+		if !unit {
+			problems = append(problems, "histograms end in a unit suffix ("+strings.Join(histUnits, ", ")+") naming what the buckets measure")
+		}
+	}
+	return problems
+}
+
+// promWriterMethod returns the registration-method name when call is a
+// method call on *metrics.PromWriter, else "".
+func promWriterMethod(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Name() != "PromWriter" || obj.Pkg() == nil || obj.Pkg().Path() != metricsPath {
+		return ""
+	}
+	switch fn.Name() {
+	case "Counter", "Gauge", "Histogram", "WriteSortedLabels":
+		return fn.Name()
+	}
+	return ""
+}
+
+// constString resolves expr to a compile-time string constant.
+func constString(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,16 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"mobiledl/tools/analyzers/analysistest"
+	"mobiledl/tools/analyzers/metricname"
+)
+
+// TestMetricName covers clean registrations for every PromWriter method,
+// shape violations, per-kind suffix rules, reserved suffixes, the
+// compile-time-constant requirement for names and WriteSortedLabels kinds,
+// and the nolint escape.
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, "testdata", metricname.Analyzer, nil, "mobiledl/emit")
+}

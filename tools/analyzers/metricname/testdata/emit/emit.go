@@ -1,0 +1,45 @@
+// Package emit exercises metricname at registration call sites: prefix and
+// snake-case shape, per-kind suffix rules, reserved suffixes, the
+// const-name requirement, WriteSortedLabels kinds, and the nolint escape.
+package emit
+
+import "mobiledl/internal/metrics"
+
+const latencyName = "mobiledl_predict_latency_ms"
+
+func register(w *metrics.PromWriter, hist metrics.HistogramSnapshot, perNode map[string]uint64) {
+	// Clean registrations.
+	w.Counter("mobiledl_requests_total", "served requests", 1)
+	w.Counter("mobiledl_rx_bytes_total", "bytes received", 1)
+	w.Gauge("mobiledl_queue_depth", "pending batches", 0)
+	w.Histogram(latencyName, "predict latency", hist)
+	w.WriteSortedLabels("mobiledl_peer_sends_total", "per-peer sends", "counter", "peer", perNode)
+
+	// Shape violations: wrong prefix, uppercase, double underscore.
+	w.Counter("requests_total", "missing prefix", 1)              // want `metric "requests_total": must match`
+	w.Gauge("mobiledl_QueueDepth", "uppercase", 0)                // want `must match`
+	w.Counter("mobiledl__requests_total", "double underscore", 1) // want `must match`
+
+	// Suffix conventions per kind.
+	w.Counter("mobiledl_requests", "counter without _total", 1)       // want `counters end in _total`
+	w.Counter("mobiledl_rx_bytes", "byte counter", 1)                 // want `byte counters end in _bytes_total`
+	w.Gauge("mobiledl_evictions_total", "gauge posing as counter", 0) // want `gauges must not end in _total`
+	w.Histogram("mobiledl_predict_latency", "no unit suffix", hist)   // want `histograms end in a unit suffix`
+	w.Histogram("mobiledl_batch_total", "counter-suffixed", hist)     // want `histograms must not end in _total`
+
+	// Reserved suffixes collide with writer-derived series; _count also
+	// breaks the counter suffix rule, so two findings land on this line.
+	w.Counter("mobiledl_flush_count", "reserved", 1) // want `suffix _count is reserved` `counters end in _total`
+
+	// Names and kinds must be compile-time constants.
+	dyn := "mobiledl_dynamic_total"
+	w.Counter(dyn, "runtime-built name", 1) // want `must be a compile-time constant`
+	kind := "counter"
+	w.WriteSortedLabels("mobiledl_peer_drops_total", "per-peer drops", kind, "peer", perNode) // want `kind passed to PromWriter.WriteSortedLabels must be a compile-time constant`
+
+	// WriteSortedLabels applies the rules of its declared kind.
+	w.WriteSortedLabels("mobiledl_peer_drops", "per-peer drops", "counter", "peer", perNode) // want `counters end in _total`
+
+	// Reviewed exception: a legacy dashboard pins this pre-convention name.
+	w.Gauge("legacy_uptime", "grandfathered series", 0) //nolint:metricname // dashboard pins the pre-mobiledl name until Q4 migration
+}

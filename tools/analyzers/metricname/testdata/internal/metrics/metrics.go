@@ -1,0 +1,24 @@
+// Package metrics stubs PromWriter with the real registration signatures so
+// the analyzer's receiver-type matching works against the testdata module.
+// The analyzer skips this package itself (it derives _bucket/_sum/_count).
+package metrics
+
+// Label is one name=value pair on a series.
+type Label struct {
+	Name, Value string
+}
+
+// HistogramSnapshot is a frozen bucket view.
+type HistogramSnapshot struct {
+	Counts []uint64
+	Sum    float64
+}
+
+// PromWriter renders families in Prometheus text exposition format.
+type PromWriter struct{}
+
+func (w *PromWriter) Counter(name, help string, value float64, labels ...Label)         {}
+func (w *PromWriter) Gauge(name, help string, value float64, labels ...Label)           {}
+func (w *PromWriter) Histogram(name, help string, h HistogramSnapshot, labels ...Label) {}
+func (w *PromWriter) WriteSortedLabels(name, help, kind, labelName string, values map[string]uint64, fixed ...Label) {
+}

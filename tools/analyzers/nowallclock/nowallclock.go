@@ -1,0 +1,193 @@
+// Package nowallclock forbids wall-clock reads and global math/rand in the
+// determinism-critical packages: internal/sim and internal/federated must
+// produce bit-identical round histories across runs and worker counts (PR
+// 9's determinism gates), and internal/fedserve's merge/select logic feeds
+// them. time.Now, time.Since, and the global rand source are exactly the
+// calls that silently break that property.
+//
+// Legitimate wall-clock sites (traffic pacing against real HTTP servers,
+// wall-time fields in operator-facing reports, straggler latency
+// accounting) are named one-per-line in an allowlist file passed via the
+// `allowlist` flag, so every exception is reviewed rather than ambient.
+package nowallclock
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"os"
+	"strings"
+
+	"mobiledl/tools/analyzers/analysis"
+)
+
+// criticalPkgs are the import paths (and subtrees) the analyzer polices.
+var criticalPkgs = []string{
+	"mobiledl/internal/sim",
+	"mobiledl/internal/federated",
+	"mobiledl/internal/fedserve",
+}
+
+// Analyzer is the nowallclock invariant check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid time.Now/time.Since and global math/rand in " +
+		"determinism-critical packages (sim, federated, fedserve)",
+	AppliesTo: func(path string) bool {
+		for _, p := range criticalPkgs {
+			if analysis.PathHasPrefix(path, p) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	allow, err := ParseAllowlist(pass.Flags["allowlist"])
+	if err != nil {
+		return err
+	}
+	for _, f := range pass.Files {
+		var funcStack []string
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			switch nd := n.(type) {
+			case *ast.FuncDecl:
+				funcStack = append(funcStack, funcName(nd))
+				checkBody(pass, nd.Body, funcStack[len(funcStack)-1], allow)
+				funcStack = funcStack[:len(funcStack)-1]
+				return false // checkBody walked the body already
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody scans one function body; fn is its allowlist name.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, fn string, allow Allowlist) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil {
+			return true
+		}
+		var what string
+		switch obj.Pkg().Path() {
+		case "time":
+			if obj.Name() == "Now" || obj.Name() == "Since" {
+				what = "wall-clock read time." + obj.Name()
+			}
+		case "math/rand", "math/rand/v2":
+			sig, sok := obj.Type().(*types.Signature)
+			if sok && sig.Recv() == nil && !strings.HasPrefix(obj.Name(), "New") {
+				what = "global math/rand source (" + obj.Pkg().Name() + "." + obj.Name() + ")"
+			}
+		}
+		if what == "" {
+			return true
+		}
+		pos := pass.Fset.Position(sel.Pos())
+		if allow.Permits(pos.Filename, fn) {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s in determinism-critical package %s (function %s); seed an explicit source or add a reviewed allowlist entry",
+			what, pass.Pkg.Path(), fn)
+		return true
+	})
+}
+
+// funcName renders a FuncDecl the way allowlist entries spell it:
+// `Func` for functions, `Recv.Method` for methods (pointer receivers
+// without the star).
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers (Recv[T]) keep just the base name.
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// Allowlist is the parsed exception file: each entry pairs a file-path
+// suffix with a function name.
+type Allowlist []allowEntry
+
+type allowEntry struct {
+	fileSuffix string
+	fn         string // "*" permits the whole file
+}
+
+// ParseAllowlist reads the exception file. Format, one entry per line:
+//
+//	internal/sim/traffic.go:runReplay   # why this site may read the clock
+//
+// Blank lines and #-comment lines are skipped; inline #-comments are
+// stripped. An entry of the form `path:*` exempts an entire file.
+func ParseAllowlist(path string) (Allowlist, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nowallclock allowlist: %v", err)
+	}
+	defer f.Close()
+	var out Allowlist
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		file, fn, ok := strings.Cut(line, ":")
+		if !ok || file == "" || fn == "" {
+			return nil, fmt.Errorf("nowallclock allowlist %s:%d: want `path/to/file.go:FuncName`, got %q", path, lineNo, line)
+		}
+		out = append(out, allowEntry{fileSuffix: file, fn: strings.TrimSpace(fn)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("nowallclock allowlist: %v", err)
+	}
+	return out, nil
+}
+
+// Permits reports whether the allowlist covers function fn in file.
+func (a Allowlist) Permits(file, fn string) bool {
+	for _, e := range a {
+		if !strings.HasSuffix(file, e.fileSuffix) {
+			continue
+		}
+		if e.fn == "*" || e.fn == fn {
+			return true
+		}
+	}
+	return false
+}

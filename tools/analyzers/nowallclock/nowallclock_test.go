@@ -1,0 +1,68 @@
+package nowallclock_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mobiledl/tools/analyzers/analysistest"
+	"mobiledl/tools/analyzers/nowallclock"
+)
+
+// TestNoWallClock covers the flagged patterns (time.Now/Since, global
+// math/rand), the clean ones (seeded sources), the allowlist (plain
+// functions and methods), the nolint escape, and package scoping (the
+// clockok package reads the clock with no findings expected).
+func TestNoWallClock(t *testing.T) {
+	allow, err := filepath.Abs(filepath.Join("testdata", "allow.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, "testdata", nowallclock.Analyzer,
+		map[string]string{"allowlist": allow}, "./...")
+}
+
+// TestParseAllowlist pins the exception-file contract: a missing file and a
+// malformed entry are hard errors (CI must not green-light with exceptions
+// silently unloaded), comments and blanks are skipped, and entries match by
+// file suffix plus exact function or `*`.
+func TestParseAllowlist(t *testing.T) {
+	if _, err := nowallclock.ParseAllowlist("does-not-exist.txt"); err == nil {
+		t.Fatal("missing allowlist must be a hard error")
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("no-colon-here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nowallclock.ParseAllowlist(bad); err == nil {
+		t.Fatal("malformed entry must be a hard error")
+	}
+
+	good := filepath.Join(t.TempDir(), "allow.txt")
+	body := "# comment\n\ninternal/sim/a.go:Run # inline note\ninternal/sim/b.go:*\n"
+	if err := os.WriteFile(good, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	allow, err := nowallclock.ParseAllowlist(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		file, fn string
+		want     bool
+	}{
+		{"/abs/path/internal/sim/a.go", "Run", true},
+		{"/abs/path/internal/sim/a.go", "Other", false},
+		{"/abs/path/internal/sim/b.go", "Anything", true},
+		{"/abs/path/internal/sim/c.go", "Run", false},
+	} {
+		if got := allow.Permits(tc.file, tc.fn); got != tc.want {
+			t.Errorf("Permits(%q, %q) = %v, want %v", tc.file, tc.fn, got, tc.want)
+		}
+	}
+
+	if empty, err := nowallclock.ParseAllowlist(""); err != nil || empty != nil {
+		t.Fatalf("empty path should load an empty allowlist, got %v, %v", empty, err)
+	}
+}

@@ -1,0 +1,23 @@
+// Package federated holds the clean patterns: seeded sources and
+// data-carried timestamps pass without findings.
+package federated
+
+import "math/rand"
+
+// Round trains with an explicit, seeded source.
+func Round(seed int64, n int) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.NormFloat64()
+	}
+	return out
+}
+
+func shuffleSeeded(r *rand.Rand, xs []int) {
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand source \(rand.Shuffle\)`
+}

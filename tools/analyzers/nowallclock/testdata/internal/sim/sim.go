@@ -1,0 +1,60 @@
+// Package sim exercises nowallclock: in-scope wall-clock and global-rand
+// reads must be flagged unless an allowlist entry or a justified nolint
+// covers them; seeded sources stay legal.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Replay is a carrier for method receiver cases.
+type Replay struct {
+	began time.Time
+}
+
+func readsClock() int64 {
+	t := time.Now() // want `wall-clock read time.Now in determinism-critical package mobiledl/internal/sim \(function readsClock\)`
+	return t.Unix()
+}
+
+func readsElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock read time.Since`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand source \(rand.Intn\)`
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want `global math/rand source \(rand.Float64\)`
+}
+
+func seededIsFine(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func (rp *Replay) Flagged() time.Duration {
+	return time.Since(rp.began) // want `function Replay.Flagged`
+}
+
+// Judge is allowlisted as Replay.Judge.
+func (rp *Replay) Judge() time.Duration {
+	return time.Since(rp.began)
+}
+
+// allowedPacer is allowlisted by name.
+func allowedPacer() time.Time {
+	return time.Now()
+}
+
+func nolintEscape() time.Time {
+	return time.Now() //nolint:nowallclock // one-shot boot stamp, not round logic
+}
+
+func deadlineClock() time.Time {
+	// A time.Time value that arrives as data is fine; constructing one from
+	// the wall clock is not.
+	return time.Unix(42, 0)
+}

@@ -1,0 +1,431 @@
+// Package poolbalance flags tensor pool acquisitions that are not released
+// on every return path. PR 2's zero-alloc kernels depend on every
+// tensor.Pool.Get / tensor.Get being matched by a Put (directly or via
+// defer) before the enclosing function returns; a miss on an error path
+// silently degrades the pool back to garbage-per-op.
+//
+// The check is lexical, not a full CFG dataflow: for each Get whose result
+// stays a local variable, every return statement after the Get must be
+// preceded (in source order) by a Put of that variable, unless a deferred
+// Put covers the whole function. Passing the buffer to a synchronous callee
+// is a borrow (the Into-kernel idiom), not a release. Results that escape —
+// returned, stored into a struct/slice/map, aliased, appended, sent to a
+// goroutine, captured by a closure — transfer ownership and are skipped;
+// sites that intentionally
+// hand buffers across API boundaries in ways the analyzer cannot see carry
+// a `//nolint:poolbalance // reason` escape.
+package poolbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mobiledl/tools/analyzers/analysis"
+)
+
+// tensorPath is the package whose pool the analyzer polices.
+const tensorPath = "mobiledl/internal/tensor"
+
+// Analyzer is the poolbalance invariant check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolbalance",
+	Doc: "check that every tensor pool Get is Put on all return paths " +
+		"(or explicitly transfers ownership)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == tensorPath {
+		return nil // the pool's own implementation hands buffers around freely
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// walker analyzes one declared function body (closures included).
+type walker struct {
+	pass *analysis.Pass
+	body *ast.BlockStmt
+
+	// parent[n] is the syntactic parent of n within body.
+	parent map[ast.Node]ast.Node
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	w := &walker{pass: pass, body: body, parent: map[ast.Node]ast.Node{}}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			w.parent[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && w.isPoolCall(call, "Get") {
+			w.checkGet(call)
+		}
+		return true
+	})
+}
+
+// checkGet applies the balance rule to one acquisition.
+func (w *walker) checkGet(get *ast.CallExpr) {
+	obj := w.binding(get)
+	if obj == nil {
+		// A result dropped on the floor is a guaranteed leak; a result
+		// consumed in place (argument, return value, composite literal
+		// element) transfers ownership and is the consumer's to release.
+		if w.isDropped(get) {
+			w.pass.Reportf(get.Pos(), "result of %s is discarded; the pooled buffer can never be released", callName(get))
+		}
+		return
+	}
+
+	rel := w.releases(obj)
+	if rel.deferred {
+		return
+	}
+	if w.escapes(obj, rel, get) {
+		return // ownership transferred; the new owner releases
+	}
+
+	if len(rel.puts) == 0 {
+		w.pass.Reportf(get.Pos(), "%s from %s is never released: no Put, defer, or ownership transfer in this function", obj.Name(), callName(get))
+		return
+	}
+	for _, exitPos := range w.exitsAfter(get) {
+		released := false
+		for _, put := range rel.puts {
+			if put > get.Pos() && put < exitPos {
+				released = true
+				break
+			}
+		}
+		if !released {
+			w.pass.Reportf(get.Pos(), "%s from %s is not released on the return path at line %d",
+				obj.Name(), callName(get), w.pass.Fset.Position(exitPos).Line)
+			return // one finding per Get is enough
+		}
+	}
+}
+
+// binding resolves the local variable a Get result is assigned to; nil when
+// the result is dropped or consumed in place.
+func (w *walker) binding(call *ast.CallExpr) types.Object {
+	switch p := w.parent[call].(type) {
+	case *ast.AssignStmt:
+		if len(p.Lhs) != len(p.Rhs) {
+			return nil
+		}
+		for i, rhs := range p.Rhs {
+			if rhs != call {
+				continue
+			}
+			id, ok := p.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return nil
+			}
+			if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+				return obj
+			}
+			return w.pass.TypesInfo.Uses[id]
+		}
+	case *ast.ValueSpec:
+		for i, v := range p.Values {
+			if v == call && i < len(p.Names) {
+				return w.pass.TypesInfo.Defs[p.Names[i]]
+			}
+		}
+	}
+	return nil
+}
+
+// isDropped reports a Get whose result reaches nothing: a bare expression
+// statement or an assignment to blank.
+func (w *walker) isDropped(call *ast.CallExpr) bool {
+	switch p := w.parent[call].(type) {
+	case *ast.ExprStmt:
+		return true
+	case *ast.AssignStmt:
+		if len(p.Lhs) != len(p.Rhs) {
+			return false
+		}
+		for i, rhs := range p.Rhs {
+			if rhs == call {
+				if id, ok := p.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// releaseSet records how obj is handed back to the pool.
+type releaseSet struct {
+	puts     []token.Pos         // non-deferred Put(obj) positions
+	deferred bool                // a defer (directly or via closure) Puts obj
+	putIDs   map[*ast.Ident]bool // idents consumed as Put arguments
+}
+
+// releases finds every Put of obj in the function body.
+func (w *walker) releases(obj types.Object) releaseSet {
+	rel := releaseSet{putIDs: map[*ast.Ident]bool{}}
+	ast.Inspect(w.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !w.isPoolCall(call, "Put") || len(call.Args) == 0 {
+			return true
+		}
+		id, ok := call.Args[0].(*ast.Ident)
+		if !ok || w.pass.TypesInfo.Uses[id] != obj {
+			return true
+		}
+		rel.putIDs[id] = true
+		if w.inDefer(call) {
+			rel.deferred = true
+		} else {
+			rel.puts = append(rel.puts, call.Pos())
+		}
+		return true
+	})
+	return rel
+}
+
+// inDefer reports whether n sits under a defer statement, either directly
+// (`defer tensor.Put(v)`) or inside a deferred closure.
+func (w *walker) inDefer(n ast.Node) bool {
+	for cur := n; cur != nil && cur != ast.Node(w.body); cur = w.parent[cur] {
+		if _, ok := cur.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// escapes reports whether obj's buffer leaves this function's custody by a
+// means other than Put. Any such transfer makes the new holder responsible
+// for the release, so the balance check stands down.
+func (w *walker) escapes(obj types.Object, rel releaseSet, get *ast.CallExpr) bool {
+	getScope, _ := w.funcScope(get)
+	escaped := false
+	ast.Inspect(w.body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || w.pass.TypesInfo.Uses[id] != obj || rel.putIDs[id] {
+			return true
+		}
+		// A use in a different (nested) function scope means a closure
+		// captured the buffer; unless that closure is deferred cleanup, it
+		// may outlive this function, so ownership has transferred.
+		if idScope, _ := w.funcScope(id); idScope != getScope {
+			if !w.inDefer(id) {
+				escaped = true
+			}
+			return !escaped
+		}
+		if w.identEscapes(id) {
+			escaped = true
+			return false
+		}
+		return true
+	})
+	return escaped
+}
+
+// identEscapes classifies one use of the tracked variable by climbing its
+// parent chain to the enclosing statement.
+func (w *walker) identEscapes(id *ast.Ident) bool {
+	for p := w.parent[id]; p != nil && p != ast.Node(w.body); p = w.parent[p] {
+		switch pp := p.(type) {
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.SendStmt, *ast.KeyValueExpr:
+			return true
+		case *ast.UnaryExpr:
+			if pp.Op == token.AND {
+				return true
+			}
+		case *ast.CallExpr:
+			if isCallee(pp, id) {
+				return false // v.Method(...): plain use, result is a fresh value
+			}
+			if w.isPoolCall(pp, "Put") {
+				return false // release, accounted for in releases()
+			}
+			if isBuiltinAppend(w.pass, pp) {
+				return true // appended into a slice someone else owns
+			}
+			// A synchronous call borrows the buffer — the dominant idiom
+			// here is Into-style kernels writing into the caller's pooled
+			// scratch, with the caller still responsible for the Put. Async
+			// uses (go/defer) outlive the statement and do escape.
+			switch w.parent[pp].(type) {
+			case *ast.GoStmt, *ast.DeferStmt:
+				return true
+			}
+			return false
+		case *ast.AssignStmt:
+			// Reached statement level inside an assignment without being
+			// consumed by a call/return: v aliased to another name, stored
+			// into a field/element, or reassigned — stop tracking either way.
+			return true
+		case ast.Stmt:
+			return false
+		}
+	}
+	return false
+}
+
+// exitsAfter lists the positions of return statements after the Get in the
+// Get's own function scope, plus the implicit fall-off-the-end exit when the
+// body can reach its closing brace.
+func (w *walker) exitsAfter(get *ast.CallExpr) []token.Pos {
+	scopeBody, scopeLit := w.funcScope(get)
+	var exits []token.Pos
+	ast.Inspect(scopeBody, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl != scopeLit {
+			return false // returns inside nested closures exit the closure, not us
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok && ret.Pos() > get.Pos() {
+			exits = append(exits, ret.Pos())
+		}
+		return true
+	})
+	if bodyFallsThrough(scopeBody) {
+		exits = append(exits, scopeBody.End())
+	}
+	return exits
+}
+
+// funcScope finds the innermost function body containing n: a closure's
+// body, or the declared function's.
+func (w *walker) funcScope(n ast.Node) (*ast.BlockStmt, *ast.FuncLit) {
+	for cur := w.parent[n]; cur != nil; cur = w.parent[cur] {
+		if fl, ok := cur.(*ast.FuncLit); ok {
+			return fl.Body, fl
+		}
+	}
+	return w.body, nil
+}
+
+// bodyFallsThrough reports whether the last statement lets control reach the
+// closing brace (an implicit return).
+func bodyFallsThrough(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return true
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return false
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return false
+			}
+		}
+	case *ast.ForStmt:
+		if last.Cond == nil && !hasLoopBreak(last.Body) {
+			return false // `for { ... }` without break never falls through
+		}
+	}
+	return true
+}
+
+// hasLoopBreak reports a break targeting the loop whose body is given.
+func hasLoopBreak(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch b := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false // break inside these targets them, not our loop
+		case *ast.BranchStmt:
+			if b.Tok == token.BREAK && b.Label == nil {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isBuiltinAppend matches calls to the append builtin.
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, builtin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+// isCallee reports whether id is (part of) the function expression of call
+// rather than an argument.
+func isCallee(call *ast.CallExpr, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(call.Fun, func(n ast.Node) bool {
+		if n == ast.Node(id) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isPoolCall reports whether call invokes the tensor pool's method or
+// package-level function with the given name (Get or Put).
+func (w *walker) isPoolCall(call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != tensorPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		return isPoolType(recv.Type())
+	}
+	return true // package-level tensor.Get / tensor.Put
+}
+
+// isPoolType matches tensor.Pool and *tensor.Pool.
+func isPoolType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == tensorPath
+}
+
+// callName renders the Get call for messages (tensor.Get or pool.Get).
+func callName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			return id.Name + "." + sel.Sel.Name
+		}
+		return sel.Sel.Name
+	}
+	return "pool Get"
+}

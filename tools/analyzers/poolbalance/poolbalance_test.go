@@ -1,0 +1,15 @@
+package poolbalance_test
+
+import (
+	"testing"
+
+	"mobiledl/tools/analyzers/analysistest"
+	"mobiledl/tools/analyzers/poolbalance"
+)
+
+// TestPoolBalance runs the analyzer over the testdata module: planted leaks
+// (dropped results, error-path misses, closure-scoped misses) must be
+// flagged, and balanced/deferred/transferred/nolinted sites must pass clean.
+func TestPoolBalance(t *testing.T) {
+	analysistest.Run(t, "testdata", poolbalance.Analyzer, nil, "mobiledl/pool")
+}

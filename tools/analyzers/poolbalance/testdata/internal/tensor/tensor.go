@@ -1,0 +1,30 @@
+// Package tensor is a minimal stub of the real pool API at the same import
+// path, so the analyzer's type-based matching works in testdata.
+package tensor
+
+// Matrix is pooled storage.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// Row returns one row slice.
+func (m *Matrix) Row(i int) []float64 { return m.data }
+
+// Pool recycles matrices.
+type Pool struct{}
+
+// Get returns a pooled matrix.
+func (p *Pool) Get(rows, cols int) *Matrix { return &Matrix{rows: rows, cols: cols} }
+
+// Put releases a pooled matrix.
+func (p *Pool) Put(m *Matrix) {}
+
+// Get returns a matrix from the default pool.
+func Get(rows, cols int) *Matrix { return &Matrix{rows: rows, cols: cols} }
+
+// Put releases m to the default pool.
+func Put(m *Matrix) {}
+
+// AddInto is an Into-style kernel that borrows its operands.
+func AddInto(dst, a, b *Matrix) error { return nil }

@@ -1,0 +1,144 @@
+// Package pool exercises every poolbalance pattern: guaranteed leaks,
+// error-path leaks, balanced releases, defers, ownership transfers, and the
+// nolint escape.
+package pool
+
+import (
+	"errors"
+
+	"mobiledl/internal/tensor"
+)
+
+var errBoom = errors.New("boom")
+
+var shared tensor.Pool
+
+// sink keeps transferred buffers alive.
+var sink []*tensor.Matrix
+
+func dropped() {
+	tensor.Get(2, 2) // want `result of tensor.Get is discarded`
+}
+
+func blankBound() {
+	_ = tensor.Get(2, 2) // want `result of tensor.Get is discarded`
+}
+
+func neverReleased() {
+	v := tensor.Get(2, 2) // want `v from tensor.Get is never released`
+	v.Row(0)
+}
+
+func errorPathLeak(fail bool) error {
+	v := tensor.Get(2, 2) // want `v from tensor.Get is not released on the return path at line \d+`
+	if fail {
+		return errBoom // leaks v
+	}
+	tensor.Put(v)
+	return nil
+}
+
+func methodErrorPathLeak(fail bool) error {
+	v := shared.Get(2, 2) // want `v from shared.Get is not released on the return path at line \d+`
+	if fail {
+		return errBoom
+	}
+	shared.Put(v)
+	return nil
+}
+
+func balanced() error {
+	v := tensor.Get(2, 2)
+	if err := tensor.AddInto(v, v, v); err != nil {
+		tensor.Put(v)
+		return err
+	}
+	tensor.Put(v)
+	return nil
+}
+
+func deferred(fail bool) error {
+	v := tensor.Get(2, 2)
+	defer tensor.Put(v)
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+func deferredClosure(fail bool) error {
+	v := tensor.Get(2, 2)
+	defer func() { tensor.Put(v) }()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+func transferredByReturn() *tensor.Matrix {
+	v := tensor.Get(2, 2)
+	return v // caller owns it now
+}
+
+func transferredByStore() {
+	v := tensor.Get(2, 2)
+	sink = append(sink, v) // the sink owns it now
+}
+
+func transferredByField(holder *struct{ m *tensor.Matrix }) {
+	holder.m = tensor.Get(2, 2) // stored straight into a struct
+}
+
+func transferredToGoroutine() {
+	v := tensor.Get(2, 2)
+	go func() {
+		tensor.Put(v)
+	}()
+}
+
+func capturedByWorker() {
+	v := tensor.Get(2, 2)
+	go func() {
+		v.Row(0) // the goroutine owns the buffer now
+	}()
+}
+
+func closureUsesThenLeaks() {
+	f := func(fail bool) error {
+		v := tensor.Get(2, 2) // want `v from tensor.Get is not released on the return path at line \d+`
+		v.Row(0)
+		if fail {
+			return errBoom
+		}
+		tensor.Put(v)
+		return nil
+	}
+	_ = f(true)
+}
+
+func borrowedThenLeaked(fail bool) error {
+	v := tensor.Get(2, 2) // want `v from tensor.Get is not released on the return path at line \d+`
+	if err := tensor.AddInto(v, v, v); err != nil {
+		return err // AddInto only borrowed v: this path leaks it
+	}
+	tensor.Put(v)
+	return nil
+}
+
+func closureScopedLeak() {
+	f := func(fail bool) error {
+		v := tensor.Get(2, 2) // want `v from tensor.Get is not released on the return path at line \d+`
+		if fail {
+			return errBoom
+		}
+		tensor.Put(v)
+		return nil
+	}
+	_ = f(false)
+}
+
+func nolintEscape() *tensor.Matrix {
+	v := shared.Get(2, 2) //nolint:poolbalance // refcounted snapshot: release() puts it back
+	sink = append(sink, v)
+	return v
+}
